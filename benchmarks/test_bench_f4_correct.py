@@ -1,0 +1,59 @@
+"""F4 — Figure 4: the correct execution (forgotten orders).
+
+Same leaf-level behaviour as Figure 3, but the two roots are
+transactions of one top schedule that declares their subtransactions
+non-conflicting — the schedule vouches for commutativity, the pulled-up
+orders neither constrain the root calculation nor survive the final
+pull-up (§3.7), and the reduction completes to a serial front whose
+Def.-19 containment is verified constructively.  The benchmark times
+acceptance.
+"""
+
+from repro.analysis.tables import banner
+from repro.core.reduction import reduce_to_roots
+from repro.core.serial import serial_front_of, verify_theorem1_if_direction
+from repro.figures import figure3_system, figure4_system
+from repro.viz.ascii_art import render_front
+
+
+def accept():
+    system = figure4_system()
+    return reduce_to_roots(system)
+
+
+def test_bench_f4_correct(benchmark, emit):
+    result = benchmark(accept)
+
+    # --- assertions ----------------------------------------------------
+    assert result.succeeded
+    f2 = result.fronts[2]
+    # The crossed orders are pulled into the level-2 front (their
+    # endpoints conflicted on SP/SQ)...
+    assert ("p", "r") in f2.observed and ("s", "q") in f2.observed
+    # ...but are forgotten past SA: the root front has no observed order.
+    final = result.final_front
+    assert len(final.observed) == 0
+    check = verify_theorem1_if_direction(result)
+    assert check, check.reasons
+
+    # Same leaves as Figure 3 — the verdict flip is purely the top
+    # schedule's semantic knowledge.
+    fig3 = figure3_system()
+    fig4 = figure4_system()
+    assert set(fig3.leaves) == set(fig4.leaves)
+
+    serial = serial_front_of(result)
+    lines = [banner("F4: Figure 4 — correct execution, forgotten orders")]
+    for front in result.fronts:
+        lines.append(render_front(front))
+    lines.append("")
+    lines.append(
+        "forgotten at the meeting schedule SA: (p, r) and (s, q) — "
+        "identical leaf behaviour to Figure 3, opposite verdict."
+    )
+    lines.append(
+        "ACCEPTED: serial witness "
+        + " << ".join(serial.serialization())
+        + " (Def. 19 containment verified)"
+    )
+    emit("F4", "\n".join(lines))

@@ -1,0 +1,64 @@
+"""Micro-benchmarks for the relation engine.
+
+Everything the checker does reduces to operations on
+:class:`repro.core.orders.Relation` — transitive closure, cycle
+detection, quotienting, topological sorting.  These micro-benchmarks
+track their costs on representative graph shapes so a regression in the
+engine is visible independently of the end-to-end numbers in P2.
+"""
+
+import random
+
+import pytest
+
+from repro.core.orders import Relation
+
+
+def _random_dag(nodes: int, edges: int, seed: int = 0) -> Relation:
+    rng = random.Random(seed)
+    relation = Relation(elements=range(nodes))
+    added = 0
+    while added < edges:
+        a, b = rng.randrange(nodes), rng.randrange(nodes)
+        if a < b:
+            relation.add(a, b)
+            added += 1
+    return relation
+
+
+DAG = _random_dag(120, 400)
+CHAIN = Relation([(i, i + 1) for i in range(200)])
+CYCLIC = _random_dag(120, 400)
+CYCLIC.add(119, 0)
+
+
+def test_bench_transitive_closure(benchmark):
+    closed = benchmark(DAG.transitive_closure)
+    assert closed.is_transitive()
+
+
+def test_bench_chain_closure(benchmark):
+    closed = benchmark(CHAIN.transitive_closure)
+    assert (0, 200) in closed
+
+
+def test_bench_cycle_detection_acyclic(benchmark):
+    assert benchmark(DAG.find_cycle) is None
+
+
+def test_bench_cycle_detection_cyclic(benchmark):
+    cycle = benchmark(CYCLIC.find_cycle)
+    assert cycle is not None
+
+
+def test_bench_topological_sort(benchmark):
+    order = benchmark(DAG.topological_sort)
+    assert len(order) == 120
+
+
+def test_bench_quotient(benchmark):
+    def quotient():
+        return DAG.mapped(lambda n: n // 10)
+
+    q = benchmark(quotient)
+    assert len(q.elements) == 12

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Walk through the paper's four figures, end to end.
+
+For each figure this prints the configuration (levels + execution
+forest), runs the reduction front by front, and shows the verdict —
+including Figure 3's counterexample cycle and Figure 4's forgotten
+orders.
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro import check_composite_correctness, reduce_to_roots
+from repro.core.conflicts import conflict_digest
+from repro.figures import (
+    figure1_system,
+    figure2_system,
+    figure3_system,
+    figure4_system,
+)
+from repro.viz import render_forest, render_front, render_levels
+
+
+def show(title: str, system, commentary: str) -> None:
+    print("=" * 76)
+    print(title)
+    print("=" * 76)
+    print(commentary.strip())
+    print()
+    print("schedule levels (Def. 9):")
+    print(render_levels(system))
+    print()
+    print("execution forest (Def. 6):")
+    print(render_forest(system))
+    print()
+    result = reduce_to_roots(system)
+    for front in result.fronts:
+        print(render_front(front))
+    if result.succeeded:
+        print(
+            "\n=> Comp-C; serial witness: "
+            + " << ".join(result.serial_order())
+        )
+    else:
+        print(f"\n=> NOT Comp-C; {result.failure.describe()}")
+    print()
+
+
+def main() -> None:
+    show(
+        "Figure 1 — an arbitrary configuration",
+        figure1_system(),
+        """
+        Five schedules on three levels; five composite transactions of
+        different heights.  T3 (via SC/SE) and T5 (on SD) share no
+        schedule, yet the reduction relates all roots and finds a serial
+        witness.
+        """,
+    )
+
+    fig2 = figure2_system()
+    show(
+        "Figure 2 — conflict and observed order",
+        fig2,
+        """
+        Leaves o13 and o25 conflict on the shared bottom schedule S4.
+        Watch the pair climb: (o13,o25) -> (v1,v2) -> (t11,t21) ->
+        (T1,T2); transitivity then relates (T1,T3) as well.
+        """,
+    )
+    result = reduce_to_roots(fig2)
+    final = result.final_front
+    print("generalized conflicts at the root front (Def. 11):")
+    for a, b, source in conflict_digest(fig2, final.observed, final.nodes):
+        print(f"  CON({a}, {b})  [from: {source}]")
+    print()
+
+    show(
+        "Figure 3 — an incorrect execution",
+        figure3_system(),
+        """
+        T1 = {p, q} and T2 = {r, s} live on different top schedules and
+        interfere through two mid schedules in opposite directions
+        (p before r on SP, s before q on SQ).  Both pairs originate on
+        different schedules, so they are pulled up pessimistically —
+        and at the root step T1 cannot be isolated.
+        """,
+    )
+
+    show(
+        "Figure 4 — a correct execution (forgotten orders)",
+        figure4_system(),
+        """
+        The same leaf-level behaviour as Figure 3, but both roots are
+        transactions of ONE top schedule that declares p,r and s,q
+        non-conflicting.  The top schedule vouches for commutativity, so
+        the crossed orders are forgotten at the meeting point and the
+        reduction completes.
+        """,
+    )
+
+    print("summary:")
+    for name, factory in [
+        ("figure 1", figure1_system),
+        ("figure 2", figure2_system),
+        ("figure 3", figure3_system),
+        ("figure 4", figure4_system),
+    ]:
+        verdict = check_composite_correctness(factory())
+        print(f"  {name}: {'Comp-C' if verdict.correct else 'NOT Comp-C'}")
+
+
+if __name__ == "__main__":
+    main()

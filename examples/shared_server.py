@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Two independent applications over one server: a *join* (Def. 25).
+
+This is the configuration where classical per-component reasoning fails
+hardest: the two client applications share no schedule, so nothing at
+their level can see how their work interleaves at the server.  The
+paper's ghost graph (Def. 26) materializes exactly those hidden
+dependencies, and Theorem 4 says JCC — server conflict consistency plus
+acyclicity of the ghost graph joined with the clients' own orders —
+characterizes Comp-C.
+
+The example then drives the discrete-event simulator over the same
+shape with two protocols and shows the practical consequence: a plain
+optimistic scheduler at the server happily commits ghost cycles, while
+CC scheduling (with its root-order registry, the ticket-method idea the
+paper's §4 cites) never does.
+
+Run:  python examples/shared_server.py
+"""
+
+from repro import SystemBuilder, check_composite_correctness
+from repro.criteria import ghost_graph, is_jcc, is_join
+from repro.simulator import ProgramConfig, SimulationConfig, simulate
+from repro.workloads.topologies import join_topology
+
+
+def build(server_order):
+    """Roots T1 (app C1) and T2 (app C2), two server calls each."""
+    b = SystemBuilder()
+    b.transaction("T1", "C1", ["u1", "u2"])
+    b.transaction("T2", "C2", ["v1", "v2"])
+    b.executed("C1", ["u1", "u2"])
+    b.executed("C2", ["v1", "v2"])
+    b.transaction("u1", "Server", ["x_w1"])
+    b.transaction("u2", "Server", ["y_w1"])
+    b.transaction("v1", "Server", ["x_w2"])
+    b.transaction("v2", "Server", ["y_w2"])
+    b.conflict("Server", "x_w1", "x_w2")
+    b.conflict("Server", "y_w1", "y_w2")
+    b.executed("Server", list(server_order))
+    return b.build()
+
+
+def analyse(title, system):
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    assert is_join(system)
+    ghost = ghost_graph(system, "Server")
+    print("  ghost graph (Def. 26):")
+    for a, b in ghost.pairs():
+        print(f"    {a} ~> {b}")
+    jcc = is_jcc(system)
+    comp = check_composite_correctness(system)
+    print(f"  JCC (Def. 27):   {'yes' if jcc else 'NO'}")
+    print(f"  Comp-C (Thm. 1): {'yes' if comp.correct else 'NO'}")
+    assert jcc == comp.correct, "Theorem 4 must hold"
+    print()
+
+
+def simulate_protocols():
+    print("=" * 72)
+    print("simulation: 3 apps x shared server, 4 concurrent clients")
+    print("=" * 72)
+    header = f"  {'protocol':8s} {'commits':>8s} {'abort rate':>11s} {'Comp-C runs':>12s}"
+    print(header)
+    for protocol in ("sgt", "cc"):
+        comp_c = runs = 0
+        commits = 0
+        abort_rate = 0.0
+        for seed in range(6):
+            result = simulate(
+                SimulationConfig(
+                    topology=join_topology(3),
+                    protocol=protocol,
+                    clients=4,
+                    transactions_per_client=6,
+                    seed=seed,
+                    program=ProgramConfig(
+                        items_per_component=4, item_skew=0.8
+                    ),
+                )
+            )
+            if result.assembled is None:
+                continue
+            runs += 1
+            commits += result.metrics.commits
+            abort_rate += result.metrics.abort_rate
+            if check_composite_correctness(
+                result.assembled.recorded.system
+            ).correct:
+                comp_c += 1
+        print(
+            f"  {protocol:8s} {commits:>8d} {abort_rate / runs:>11.3f}"
+            f" {comp_c:>7d}/{runs}"
+        )
+    print()
+    print(
+        "  sgt: every committed run is locally serializable at every\n"
+        "  component, yet most runs hide a ghost cycle -> NOT Comp-C.\n"
+        "  cc:  the shared root-order registry (ticket method) keeps the\n"
+        "  cross-application serialization consistent -> always Comp-C."
+    )
+
+
+def main() -> None:
+    analyse(
+        "consistent server serialization (T1's calls before T2's)",
+        build(["x_w1", "y_w1", "x_w2", "y_w2"]),
+    )
+    analyse(
+        "ghost cycle: x serialized T1->T2 but y serialized T2->T1",
+        build(["x_w1", "y_w2", "x_w2", "y_w1"]),
+    )
+    simulate_protocols()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""TP monitor scenario: the paper's motivating application, end to end.
+
+A TP monitor coordinates payments, orders and audits over three resource
+managers (accounts, stock, an append-style log) — the archetypal
+composite system the introduction describes.  The example runs the
+TPC-flavoured transaction mix under every protocol, checks each
+committed execution with the reduction, and prints the trade-off table
+plus one execution-lane view so the interleaving is visible.
+
+Run:  python examples/tp_monitor.py
+"""
+
+from repro import check_composite_correctness
+from repro.analysis import format_table
+from repro.simulator import SimulationConfig, simulate
+from repro.simulator.scenarios import tp_monitor_mix, tp_monitor_topology
+from repro.viz import render_lanes
+
+
+def main() -> None:
+    rows = []
+    sample = None
+    for protocol in ("cc", "s2pl", "sgt", "to"):
+        commits = 0
+        abort_rate = throughput = 0.0
+        comp_c = runs = 0
+        for seed in range(4):
+            result = simulate(
+                SimulationConfig(
+                    topology=tp_monitor_topology(),
+                    protocol=protocol,
+                    clients=5,
+                    transactions_per_client=8,
+                    seed=seed,
+                    program_factory=tp_monitor_mix(
+                        payment=0.5, order=0.35, audit=0.15
+                    ),
+                )
+            )
+            runs += 1
+            commits += result.metrics.commits
+            abort_rate += result.metrics.abort_rate
+            throughput += result.metrics.throughput
+            recorded = result.assembled.recorded
+            if check_composite_correctness(recorded.system).correct:
+                comp_c += 1
+            if protocol == "sgt" and sample is None:
+                sample = recorded
+        rows.append(
+            [
+                protocol,
+                commits,
+                f"{throughput / runs:.3f}",
+                f"{abort_rate / runs:.3f}",
+                f"{comp_c}/{runs}",
+            ]
+        )
+    print("TP monitor, payment/order/audit mix, 5 concurrent clients:\n")
+    print(
+        format_table(
+            ["protocol", "commits", "throughput", "abort rate", "Comp-C runs"],
+            rows,
+        )
+    )
+    print()
+    if sample is not None:
+        print("one committed execution under sgt (lanes per component):")
+        print(render_lanes(sample))
+    print()
+    print(
+        "the monitor itself is a pure coordinator, so this shape is a\n"
+        "fork — Theorem 3 territory — and even the uncoordinated\n"
+        "protocols usually stay composite-correct; wire a second monitor\n"
+        "to the same managers (a join) and that stops being true, as\n"
+        "examples/shared_server.py shows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Classical transaction models, judged by one criterion (§4).
+
+The paper's closing claim: sagas, distributed transactions, federated
+transactions and the ticket method "can be understood and compared"
+inside the composite framework.  This example expresses each as a
+composite system (via :mod:`repro.models`) and lets the one checker
+judge them all:
+
+1. interleaved sagas — accepted by Comp-C (the saga layer vouches step
+   commutativity) although flat serializability rejects the history;
+2. a distributed transfer pair whose resource managers disagree —
+   forgiven when the coordinator knows the transfers commute;
+3. a federation whose sites hide a global serialization disagreement —
+   rejected; adding tickets turns the disagreement into explicit local
+   conflicts, demonstrating why the ticket method works.
+
+Run:  python examples/transaction_models.py
+"""
+
+from repro import check_composite_correctness
+from repro.models import (
+    GlobalTransaction,
+    GlobalWork,
+    Saga,
+    build_distributed_system,
+    build_federated_system,
+    build_saga_system,
+    flat_equivalent_is_serializable,
+    with_tickets,
+)
+
+
+def sagas_demo() -> None:
+    print("=" * 72)
+    print("1. sagas: step interleaving that flat serializability rejects")
+    print("=" * 72)
+    s1 = (
+        Saga("Trip1")
+        .step("flight", ("seats", "r"), ("seats", "w"))
+        .step("hotel", ("rooms", "r"), ("rooms", "w"))
+    )
+    s2 = (
+        Saga("Trip2")
+        .step("flight", ("seats", "r"), ("seats", "w"))
+        .step("hotel", ("rooms", "r"), ("rooms", "w"))
+    )
+    interleaving = ["Trip1.flight", "Trip2.flight", "Trip2.hotel", "Trip1.hotel"]
+    system = build_saga_system([s1, s2], interleaving)
+    comp = check_composite_correctness(system)
+    flat = flat_equivalent_is_serializable([s1, s2], interleaving)
+    print(f"  step order: {' -> '.join(interleaving)}")
+    print(f"  flat serializability (sagas as monoliths): {'yes' if flat else 'NO'}")
+    print(f"  Comp-C (saga layer vouches commutativity): "
+          f"{'yes' if comp.correct else 'NO'}")
+    print()
+
+
+def distributed_demo() -> None:
+    print("=" * 72)
+    print("2. distributed transactions: managers disagree, coordinator vouches")
+    print("=" * 72)
+    t1 = GlobalTransaction("Xfer1").work("RM1", ("acct", "w")).work(
+        "RM2", ("log", "w")
+    )
+    t2 = GlobalTransaction("Xfer2").work("RM1", ("acct", "w")).work(
+        "RM2", ("log", "w")
+    )
+    system = build_distributed_system(
+        [t1, t2], {"RM1": ["Xfer1", "Xfer2"], "RM2": ["Xfer2", "Xfer1"]}
+    )
+    comp = check_composite_correctness(system)
+    print("  RM1 serialized Xfer1 < Xfer2; RM2 serialized Xfer2 < Xfer1")
+    print(f"  Comp-C: {'yes' if comp.correct else 'NO'} "
+          "(the coordinator declared the transfers commutative)")
+    print()
+
+
+def federation_demo() -> None:
+    print("=" * 72)
+    print("3. federated transactions and the ticket method")
+    print("=" * 72)
+    g1 = GlobalWork("G1", "ClientA").at("Site1", ("a", "w")).at(
+        "Site2", ("c", "w")
+    )
+    g2 = GlobalWork("G2", "ClientB").at("Site1", ("b", "w")).at(
+        "Site2", ("c", "w")
+    )
+    orders = {"Site1": ["G1", "G2"], "Site2": ["G2", "G1"]}
+    plain = build_federated_system([g1, g2], [], orders)
+    print("  disjoint items at Site1, shared item at Site2, opposite orders:")
+    print(
+        "  without tickets: "
+        f"{'Comp-C' if check_composite_correctness(plain).correct else 'NOT Comp-C'}"
+        "  (only Site2 orders them -> consistent)"
+    )
+    ticketed = build_federated_system(with_tickets([g1, g2]), [], orders)
+    print(
+        "  with tickets:    "
+        f"{'Comp-C' if check_composite_correctness(ticketed).correct else 'NOT Comp-C'}"
+        "  (tickets force conflicts at BOTH sites -> the"
+    )
+    print(
+        "                   disagreement becomes an explicit contradiction;"
+    )
+    print(
+        "                   a serializable site would have refused it online)"
+    )
+    print()
+
+
+def main() -> None:
+    sagas_demo()
+    distributed_demo()
+    federation_demo()
+
+
+if __name__ == "__main__":
+    main()

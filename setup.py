@@ -1,0 +1,6 @@
+"""Thin setup.py kept for environments without the `wheel` package,
+where PEP 660 editable installs are unavailable (offline CI boxes).
+All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""composite-tx — Correctness in General Configurations of Transactional
+Components (PODS 1999), reproduced as a production-quality Python library.
+
+The package decides **composite correctness (Comp-C)** for executions of
+component-based transactional systems in which every component runs its
+own scheduler and components invoke one another in an arbitrary acyclic
+configuration.  It also ships the prior-art criteria the paper compares
+against (classical conflict serializability, LLSR, OPSR, SCC, FCC, JCC),
+per-component concurrency-control protocols, a discrete-event simulator
+of composite systems, workload/topology generators, and the benchmark
+harness that regenerates every figure and theorem of the paper.
+
+Quickstart
+----------
+>>> from repro import SystemBuilder, check_composite_correctness
+>>> b = SystemBuilder()
+>>> _ = b.transaction("T1", "Top", ["t11", "t12"])
+>>> _ = b.transaction("T2", "Top", ["t21"])
+>>> _ = b.conflict("Top", "t11", "t21").conflict("Top", "t21", "t12")
+>>> _ = b.transaction("t11", "DB", ["r1"])
+>>> _ = b.transaction("t12", "DB", ["w1"])
+>>> _ = b.transaction("t21", "DB", ["w2"])
+>>> _ = b.conflict("DB", "r1", "w2").conflict("DB", "w2", "w1")
+>>> _ = b.executed("DB", ["r1", "w2", "w1"]).executed("Top", ["t11", "t21", "t12"])
+>>> report = check_composite_correctness(b.build())
+>>> report.correct
+False
+
+``T2``'s work lands between two conflicting pieces of ``T1`` and the
+application layer knows the steps conflict: ``T1`` cannot be isolated.
+Had ``Top`` declared the steps commutative (no ``Top`` conflicts), the
+same database behaviour would be Comp-C — higher-level semantic
+knowledge erases lower-level conflicts.
+"""
+
+from repro.core import (
+    CompositeSystem,
+    CorrectnessReport,
+    Front,
+    ObservedOrderOptions,
+    ReductionEngine,
+    ReductionFailure,
+    ReductionResult,
+    Relation,
+    Schedule,
+    SystemBuilder,
+    Transaction,
+    build_system,
+    check_composite_correctness,
+    is_composite_correct,
+    reduce_to_roots,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompositeSystem",
+    "CorrectnessReport",
+    "Front",
+    "ObservedOrderOptions",
+    "ReductionEngine",
+    "ReductionFailure",
+    "ReductionResult",
+    "Relation",
+    "Schedule",
+    "SystemBuilder",
+    "Transaction",
+    "build_system",
+    "check_composite_correctness",
+    "is_composite_correct",
+    "reduce_to_roots",
+    "__version__",
+]

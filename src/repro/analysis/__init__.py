@@ -1,0 +1,76 @@
+"""Ensemble experiments and reporting over the core checker.
+
+The modules here are the measurement layer the benchmark harness is
+built on: criteria-hierarchy acceptance rates (H1), empirical theorem
+validation (T1–T4), protocol evaluation via simulation (P1) and checker
+cost scaling (P2), plus dependency-free stats and table formatting.
+"""
+
+from repro.analysis.agreement import (
+    AgreementMatrix,
+    agreement_matrix,
+    format_agreement,
+)
+from repro.analysis.hierarchy import (
+    CONTAINMENTS,
+    HIERARCHY,
+    HierarchyRow,
+    judge,
+    run_hierarchy_experiment,
+    total_violations,
+)
+from repro.analysis.protocols import (
+    ProtocolPoint,
+    evaluate_protocol,
+    protocol_sweep,
+)
+from repro.analysis.scaling import ScalingPoint, checker_scaling, depth_scaling
+from repro.analysis.stats import (
+    mean,
+    proportion_summary,
+    std_error,
+    variance,
+    wilson_interval,
+)
+from repro.analysis.tables import banner, format_table
+from repro.analysis.theorems import (
+    AgreementRow,
+    Theorem1Row,
+    agreement_experiment,
+    theorem1_experiment,
+    theorem2_rows,
+    theorem3_rows,
+    theorem4_rows,
+)
+
+__all__ = [
+    "AgreementMatrix",
+    "agreement_matrix",
+    "format_agreement",
+    "CONTAINMENTS",
+    "HIERARCHY",
+    "HierarchyRow",
+    "judge",
+    "run_hierarchy_experiment",
+    "total_violations",
+    "ProtocolPoint",
+    "evaluate_protocol",
+    "protocol_sweep",
+    "ScalingPoint",
+    "checker_scaling",
+    "depth_scaling",
+    "mean",
+    "proportion_summary",
+    "std_error",
+    "variance",
+    "wilson_interval",
+    "banner",
+    "format_table",
+    "AgreementRow",
+    "Theorem1Row",
+    "agreement_experiment",
+    "theorem1_experiment",
+    "theorem2_rows",
+    "theorem3_rows",
+    "theorem4_rows",
+]

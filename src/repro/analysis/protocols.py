@@ -1,0 +1,104 @@
+"""Protocol evaluation via simulation (the P1 artifact).
+
+Sweeps the discrete-event simulator over protocols, topologies and
+multiprogramming levels, measuring the performance/correctness
+trade-off the paper's introduction motivates: uncoordinated classical
+schedulers are fast but commit non-Comp-C executions as soon as
+composite transactions interfere through shared components, while the
+composite-aware protocols pay aborts (CC) or blocking (strict 2PL) for
+correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.correctness import is_composite_correct
+from repro.simulator.engine import SimulationConfig, simulate
+from repro.simulator.programs import ProgramConfig
+from repro.workloads.topologies import TopologySpec
+
+
+@dataclass
+class ProtocolPoint:
+    """One (protocol, topology, clients) measurement, seed-averaged."""
+
+    protocol: str
+    topology: str
+    clients: int
+    runs: int
+    throughput: float
+    abort_rate: float
+    mean_response_time: float
+    comp_c_runs: int  # runs whose committed execution was Comp-C
+
+    @property
+    def comp_c_rate(self) -> float:
+        return self.comp_c_runs / self.runs if self.runs else 0.0
+
+
+def evaluate_protocol(
+    topology: TopologySpec,
+    protocol: str,
+    *,
+    clients: int = 4,
+    transactions_per_client: int = 8,
+    seeds: Sequence[int] = (0, 1, 2),
+    program: Optional[ProgramConfig] = None,
+    deadlock_timeout: float = 60.0,
+) -> ProtocolPoint:
+    """Average one protocol/topology/MPL cell over seeds."""
+    program = program or ProgramConfig(items_per_component=4, item_skew=0.8)
+    throughput = abort_rate = response = 0.0
+    comp_c_runs = runs = 0
+    for seed in seeds:
+        result = simulate(
+            SimulationConfig(
+                topology=topology,
+                protocol=protocol,
+                clients=clients,
+                transactions_per_client=transactions_per_client,
+                seed=seed,
+                program=program,
+                deadlock_timeout=deadlock_timeout,
+            )
+        )
+        runs += 1
+        throughput += result.metrics.throughput
+        abort_rate += result.metrics.abort_rate
+        response += result.metrics.mean_response_time
+        if result.assembled is not None and is_composite_correct(
+            result.assembled.recorded.system
+        ):
+            comp_c_runs += 1
+    return ProtocolPoint(
+        protocol=protocol,
+        topology=topology.name,
+        clients=clients,
+        runs=runs,
+        throughput=throughput / runs,
+        abort_rate=abort_rate / runs,
+        mean_response_time=response / runs,
+        comp_c_runs=comp_c_runs,
+    )
+
+
+def protocol_sweep(
+    topologies: Sequence[TopologySpec],
+    protocols: Sequence[str] = ("cc", "s2pl", "sgt", "to"),
+    *,
+    client_levels: Sequence[int] = (1, 2, 4, 8),
+    **kw,
+) -> List[ProtocolPoint]:
+    """The full P1 grid."""
+    points: List[ProtocolPoint] = []
+    for topology in topologies:
+        for protocol in protocols:
+            for clients in client_levels:
+                points.append(
+                    evaluate_protocol(
+                        topology, protocol, clients=clients, **kw
+                    )
+                )
+    return points

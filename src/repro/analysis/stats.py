@@ -1,0 +1,62 @@
+"""Small statistics helpers for ensemble experiments.
+
+Nothing here needs numpy (kept dependency-free so the analysis runs
+anywhere the library does); the benchmarks only need means, standard
+errors and binomial confidence intervals for acceptance rates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def variance(values: Sequence[float]) -> float:
+    """Unbiased sample variance (0 for fewer than two samples)."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    m = mean(values)
+    return sum((v - m) ** 2 for v in values) / (n - 1)
+
+
+def std_error(values: Sequence[float]) -> float:
+    n = len(values)
+    if n < 2:
+        return 0.0
+    return math.sqrt(variance(values) / n)
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Better behaved than the normal approximation at the extremes, which
+    acceptance-rate experiments hit constantly (0% and 100% rows).
+    """
+    if trials == 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    denom = 1 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return (max(0.0, centre - margin), min(1.0, centre + margin))
+
+
+def proportion_summary(successes: int, trials: int) -> str:
+    """``"0.42 [0.31, 0.54]"`` — rate with its 95% Wilson interval."""
+    if trials == 0:
+        return "n/a"
+    lo, hi = wilson_interval(successes, trials)
+    return f"{successes / trials:.2f} [{lo:.2f}, {hi:.2f}]"

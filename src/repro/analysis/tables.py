@@ -1,0 +1,36 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints the paper-artifact tables to stdout; this
+keeps the formatting in one place and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        sep,
+    ]
+    for row in str_rows:
+        lines.append(
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def banner(title: str) -> str:
+    """A section banner used by every benchmark."""
+    rule = "=" * max(len(title), 8)
+    return f"\n{rule}\n{title}\n{rule}"

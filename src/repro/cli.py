@@ -1,0 +1,453 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+check       decide Comp-C for a saved execution (JSON)
+info        structure + every applicable criterion for a saved execution
+render      DOT/ASCII renderings of a saved execution
+generate    random composite execution -> JSON file
+simulate    run the discrete-event simulator, print metrics
+figures     walk the paper's Figures 1-4
+experiment  run one of the paper-artifact experiments (t1..t4, h1, p2, a1)
+compare     Def.-18 front equivalence of two saved executions
+report      run every experiment, write one Markdown report
+
+The CLI is a thin veneer over the library; every command maps onto the
+public API used by the examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import banner, format_table
+from repro.core.correctness import check_composite_correctness
+from repro.criteria.registry import classify
+from repro.io import load, save
+from repro.simulator import ProgramConfig, SimulationConfig, simulate
+from repro.viz.ascii_art import render_forest, render_levels
+from repro.viz.dot import forest_dot, invocation_graph_dot
+from repro.workloads.generator import WorkloadConfig, generate
+from repro.workloads.topologies import (
+    fork_topology,
+    join_topology,
+    random_dag_topology,
+    stack_topology,
+    tree_topology,
+)
+
+
+def _topology(args: argparse.Namespace):
+    kind = args.topology
+    if kind == "stack":
+        return stack_topology(args.depth)
+    if kind == "fork":
+        return fork_topology(args.width)
+    if kind == "join":
+        return join_topology(args.width)
+    if kind == "tree":
+        return tree_topology(args.depth, args.width)
+    if kind == "dag":
+        return random_dag_topology(args.depth, args.width, seed=args.seed)
+    raise SystemExit(f"unknown topology {kind!r}")
+
+
+def _add_topology_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology",
+        choices=("stack", "fork", "join", "tree", "dag"),
+        default="stack",
+    )
+    parser.add_argument("--depth", type=int, default=2)
+    parser.add_argument("--width", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_check(args: argparse.Namespace) -> int:
+    recorded = load(args.file)
+    report = check_composite_correctness(recorded.system)
+    print(report.narrative())
+    if not report.correct and args.explain:
+        print()
+        print(report.explain())
+    if args.trace:
+        from repro.io.trace import save_trace
+
+        save_trace(report.reduction, args.trace)
+        print(f"reduction trace written to {args.trace}")
+    if args.strict and not report.correct:
+        return 2
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    recorded = load(args.file)
+    system = recorded.system
+    print(banner("structure"))
+    print(render_levels(system))
+    print()
+    print(render_forest(system))
+    if recorded.executions:
+        from repro.viz.timeline import render_lanes
+
+        print(banner("execution lanes"))
+        print(render_lanes(recorded))
+    print(banner("criteria"))
+    rows = []
+    for name, verdict in classify(recorded).items():
+        cell = "-" if verdict is None else ("yes" if verdict else "NO")
+        rows.append([name, cell])
+    print(format_table(["criterion", "verdict"], rows))
+    return 0
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    recorded = load(args.file)
+    if args.format == "dot-invocation":
+        print(invocation_graph_dot(recorded.system))
+    elif args.format == "dot-forest":
+        print(forest_dot(recorded.system))
+    else:
+        print(render_levels(recorded.system))
+        print()
+        print(render_forest(recorded.system))
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    spec = _topology(args)
+    recorded = generate(
+        spec,
+        WorkloadConfig(
+            seed=args.seed,
+            roots=args.roots,
+            conflict_probability=args.conflicts,
+            layout=args.layout,
+        ),
+    )
+    save(recorded, args.output)
+    verdict = check_composite_correctness(recorded.system)
+    print(
+        f"wrote {args.output}: {spec.name}, {args.roots} roots, "
+        f"{'Comp-C' if verdict.correct else 'NOT Comp-C'}"
+    )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    spec = _topology(args)
+    result = simulate(
+        SimulationConfig(
+            topology=spec,
+            protocol=args.protocol,
+            clients=args.clients,
+            transactions_per_client=args.transactions,
+            seed=args.seed,
+            program=ProgramConfig(
+                items_per_component=args.items, item_skew=args.skew
+            ),
+        )
+    )
+    rows = [[k, v] for k, v in result.metrics.summary().items()]
+    print(format_table(["metric", "value"], rows))
+    if result.assembled is not None:
+        report = check_composite_correctness(result.assembled.recorded.system)
+        print(
+            f"committed execution: "
+            f"{'Comp-C' if report.correct else 'NOT Comp-C'}"
+        )
+        if args.output:
+            save(result.assembled.recorded, args.output)
+            print(f"recorded execution written to {args.output}")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro import reduce_to_roots
+    from repro.figures import (
+        figure1_system,
+        figure2_system,
+        figure3_system,
+        figure4_system,
+    )
+
+    factories = {
+        1: figure1_system,
+        2: figure2_system,
+        3: figure3_system,
+        4: figure4_system,
+    }
+    numbers = [args.number] if args.number else sorted(factories)
+    for n in numbers:
+        print(banner(f"Figure {n}"))
+        print(reduce_to_roots(factories[n]()).narrative())
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "t1":
+        from repro.analysis.theorems import theorem1_experiment
+
+        rows = theorem1_experiment(trials=args.trials)
+        print(
+            format_table(
+                ["configuration", "trials", "accepted", "witnesses", "certificates"],
+                [
+                    [r.label, r.trials, r.accepted, r.witnesses_valid, r.certificates_valid]
+                    for r in rows
+                ],
+            )
+        )
+        return 0 if all(r.all_valid for r in rows) else 2
+    if name in ("t2", "t3", "t4"):
+        from repro.analysis.theorems import (
+            theorem2_rows,
+            theorem3_rows,
+            theorem4_rows,
+        )
+
+        rows = {
+            "t2": theorem2_rows,
+            "t3": theorem3_rows,
+            "t4": theorem4_rows,
+        }[name](trials=args.trials)
+        print(
+            format_table(
+                ["configuration", "trials", "agreements", "accepted"],
+                [[r.label, r.trials, r.agreements, r.accepted] for r in rows],
+            )
+        )
+        return 0 if all(r.disagreements == 0 for r in rows) else 2
+    if name == "h1":
+        from repro.analysis.hierarchy import (
+            HIERARCHY,
+            run_hierarchy_experiment,
+            total_violations,
+        )
+
+        rows = run_hierarchy_experiment(trials=args.trials)
+        print(
+            format_table(
+                ["conflict rate"] + list(HIERARCHY),
+                [
+                    [row.conflict_probability]
+                    + [f"{row.accepted[c]}/{row.trials}" for c in HIERARCHY]
+                    for row in rows
+                ],
+            )
+        )
+        print(f"containment violations: {total_violations(rows)}")
+        return 0 if total_violations(rows) == 0 else 2
+    if name == "p2":
+        from repro.analysis.scaling import checker_scaling
+
+        points = checker_scaling(repeats=2)
+        print(
+            format_table(
+                ["point", "nodes", "ms"],
+                [
+                    [p.label, p.operations, f"{p.seconds * 1000:.2f}"]
+                    for p in points
+                ],
+            )
+        )
+        return 0
+    if name == "a1":
+        from repro.core.observed import ObservedOrderOptions
+        from repro.core.reduction import reduce_to_roots as rtr
+        from repro.workloads.generator import WorkloadConfig as WC
+        from repro.workloads.generator import generate as gen
+
+        ensemble = [
+            gen(stack_topology(2), WC(seed=s, conflict_probability=0.2))
+            for s in range(args.trials)
+        ]
+        base = sum(rtr(r.system).succeeded for r in ensemble)
+        ablated = sum(
+            rtr(
+                r.system, ObservedOrderOptions(forget_nonconflicting=False)
+            ).succeeded
+            for r in ensemble
+        )
+        print(
+            format_table(
+                ["variant", "accepted", "of"],
+                [
+                    ["default", base, len(ensemble)],
+                    ["no forgetting", ablated, len(ensemble)],
+                ],
+            )
+        )
+        return 0
+    raise SystemExit(f"unknown experiment {name!r}")
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.core.equivalence import (
+        front_at_level,
+        level_equivalent_systems,
+        root_behaviour,
+    )
+    from repro.exceptions import ReductionError
+
+    a = load(args.file_a).system
+    b = load(args.file_b).system
+    level_a = args.level_a if args.level_a is not None else a.order
+    level_b = args.level_b if args.level_b is not None else b.order
+    rename = {}
+    for pair in args.rename or []:
+        if "=" not in pair:
+            raise SystemExit(f"--rename expects old=new, got {pair!r}")
+        old, new = pair.split("=", 1)
+        rename[old] = new
+    for label, system, level in (
+        (args.file_a, a, level_a),
+        (args.file_b, b, level_b),
+    ):
+        try:
+            front = front_at_level(system, level)
+            obs = ", ".join(f"{x}<{y}" for x, y in front.observed.pairs())
+            print(f"{label} @ level {level}: {{{', '.join(front.nodes)}}}")
+            print(f"  observed: {obs or '(empty)'}")
+        except ReductionError as err:
+            print(f"{label} @ level {level}: NO FRONT ({err})")
+    equivalent = level_equivalent_systems(
+        a, level_a, b, level_b, rename=rename or None
+    )
+    print(
+        f"level-{level_a}/level-{level_b} equivalent (Def. 18): "
+        + ("YES" if equivalent else "NO")
+    )
+    return 0 if equivalent else 3
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import build_report
+
+    text = build_report(
+        trials=args.trials, include_protocols=args.protocols
+    )
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    print(f"report written to {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="composite-tx: composite transaction correctness "
+        "(PODS 1999 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="decide Comp-C for a saved execution")
+    p.add_argument("file")
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit with status 2 when the execution is not Comp-C",
+    )
+    p.add_argument(
+        "--trace", help="write the JSON reduction trace to this path"
+    )
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="on rejection, trace the counterexample cycle back to "
+        "concrete conflicting accesses",
+    )
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("info", help="structure + criteria classification")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("render", help="render a saved execution")
+    p.add_argument("file")
+    p.add_argument(
+        "--format",
+        choices=("ascii", "dot-invocation", "dot-forest"),
+        default="ascii",
+    )
+    p.set_defaults(func=cmd_render)
+
+    p = sub.add_parser("generate", help="random execution -> JSON")
+    _add_topology_options(p)
+    p.add_argument("--roots", type=int, default=4)
+    p.add_argument("--conflicts", type=float, default=0.2)
+    p.add_argument(
+        "--layout", choices=("serial", "random", "perturbed"), default="random"
+    )
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("simulate", help="run the discrete-event simulator")
+    _add_topology_options(p)
+    p.add_argument(
+        "--protocol", choices=("cc", "s2pl", "sgt", "to"), default="cc"
+    )
+    p.add_argument("--clients", type=int, default=4)
+    p.add_argument("--transactions", type=int, default=8)
+    p.add_argument("--items", type=int, default=4)
+    p.add_argument("--skew", type=float, default=0.8)
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("figures", help="walk the paper's figures")
+    p.add_argument("number", nargs="?", type=int, choices=(1, 2, 3, 4))
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("experiment", help="run a paper-artifact experiment")
+    p.add_argument(
+        "name", choices=("t1", "t2", "t3", "t4", "h1", "p2", "a1")
+    )
+    p.add_argument("--trials", type=int, default=30)
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser(
+        "compare",
+        help="Def.-18 equivalence of two saved executions' fronts",
+    )
+    p.add_argument("file_a")
+    p.add_argument("file_b")
+    p.add_argument("--level-a", type=int, default=None)
+    p.add_argument("--level-b", type=int, default=None)
+    p.add_argument(
+        "--rename",
+        action="append",
+        metavar="OLD=NEW",
+        help="rename nodes of the first front before comparing",
+    )
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "report", help="run every experiment, write a Markdown report"
+    )
+    p.add_argument("-o", "--output", default="REPORT.md")
+    p.add_argument("--trials", type=int, default=30)
+    p.add_argument(
+        "--protocols",
+        action="store_true",
+        help="include the (slow) protocol simulation excerpt",
+    )
+    p.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,170 @@
+"""Calculations (Def. 14) and the feasibility test of Def. 16 step 1.
+
+A *calculation* of a transaction ``T`` in a front is an isolated,
+contiguous execution of ``T``'s operations consistent with the observed
+order.  Def. 16 step 1 asks for a re-ordering of the front (changing
+only commuting pairs, never pairs ordered by the strong input order) in
+which **every** level-``i`` transaction appears as a calculation.
+
+Such a re-ordering exists exactly when the *constraint digraph* —
+
+* observed pairs (these are forced: they hold between conflicting or
+  cross-schedule-dependent nodes),
+* input orders between front nodes (a serial front must contain them,
+  Def. 19, so they may not be flipped),
+* each grouped transaction's intra-transaction weak order
+
+— is acyclic inside every group **and** its quotient by the groups is
+acyclic.  Acyclicity inside a group gives an internal execution order;
+quotient acyclicity lets whole groups be laid out one after another,
+which is precisely contiguity.  This is the classical reducibility
+condition (cf. the isolated-tree test for nested transactions), and the
+equivalence is property-tested against a brute-force search in
+``tests/core/test_calculation_oracle.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.conflicts import generalized_conflict
+from repro.core.front import Front, ReductionFailure
+from repro.core.orders import Relation
+from repro.core.system import CompositeSystem
+
+
+@dataclass
+class Grouping:
+    """The level-``i`` grouping of a front.
+
+    ``representative`` maps every front node to the transaction that
+    absorbs it this step (or to itself when it survives).  ``groups``
+    maps each absorbing transaction to its member nodes.
+    """
+
+    level: int
+    representative: Dict[str, str]
+    groups: Dict[str, List[str]]
+
+    def rep(self, node: str) -> str:
+        return self.representative[node]
+
+    def new_nodes(self, old_nodes: Tuple[str, ...]) -> Tuple[str, ...]:
+        """Front nodes after the reduction step, in deterministic order:
+        survivors keep their position, each group collapses into its
+        transaction at the position of its first member."""
+        seen = set()
+        ordered: List[str] = []
+        for node in old_nodes:
+            rep = self.representative[node]
+            if rep not in seen:
+                seen.add(rep)
+                ordered.append(rep)
+        return tuple(ordered)
+
+
+def grouping_for_level(
+    system: CompositeSystem, nodes: Tuple[str, ...], level: int
+) -> Grouping:
+    """Group the front nodes whose parent is a level-``level`` transaction."""
+    representative: Dict[str, str] = {}
+    groups: Dict[str, List[str]] = {}
+    for node in nodes:
+        if system.grouping_level(node) == level:
+            parent = system.parent(node)
+            representative[node] = parent
+            groups.setdefault(parent, []).append(node)
+        else:
+            representative[node] = node
+    return Grouping(level=level, representative=representative, groups=groups)
+
+
+def calculation_constraints(
+    system: CompositeSystem, front: Front, grouping: Grouping
+) -> Relation:
+    """The constraint digraph described in the module docstring.
+
+    Observed pairs constrain the re-ordering only when the endpoints
+    *generally conflict* (Def. 11): operations of a common schedule must
+    actually conflict there — the schedule vouches for commutativity
+    otherwise, so Def. 16 step 1 may swap them — while cross-schedule
+    observed pairs always bind (pessimism).  Input orders always bind: a
+    serial front must contain them (Def. 19).
+    """
+    constraints = Relation(elements=front.nodes)
+    for a, b in front.observed.pairs():
+        if generalized_conflict(system, front.observed, a, b):
+            constraints.add(a, b)
+    constraints = constraints.union(front.input_weak, front.input_strong)
+    for parent, members in grouping.groups.items():
+        schedule = system.schedule(system.schedule_of_transaction(parent))
+        txn = schedule.transactions[parent]
+        member_set = set(members)
+        for a, b in txn.weak_order.pairs():
+            if a in member_set and b in member_set:
+                constraints.add(a, b)
+    for node in front.nodes:
+        constraints.add_element(node)
+    return constraints
+
+
+def find_isolation_failure(
+    constraints: Relation, grouping: Grouping
+) -> Optional[ReductionFailure]:
+    """Check Def. 16 step 1 feasibility; return a failure witness or None."""
+    for parent, members in grouping.groups.items():
+        internal = constraints.restricted_to(members)
+        cycle = internal.find_cycle()
+        if cycle is not None:
+            return ReductionFailure(
+                level=grouping.level,
+                stage="calculation",
+                cycle=cycle,
+                blocked=(parent,),
+            )
+    quotient = constraints.mapped(grouping.rep)
+    cycle = quotient.find_cycle()
+    if cycle is not None:
+        blocked = tuple(node for node in cycle[:-1] if node in grouping.groups)
+        return ReductionFailure(
+            level=grouping.level,
+            stage="calculation",
+            cycle=cycle,
+            blocked=blocked,
+        )
+    return None
+
+
+def witness_sequence(
+    constraints: Relation, grouping: Grouping, nodes: Tuple[str, ...]
+) -> List[str]:
+    """A concrete ``F**`` witness: a linearization of the front in which
+    every group is contiguous and all constraints are respected.
+
+    Only call after :func:`find_isolation_failure` returned ``None``.
+    """
+    quotient = constraints.mapped(grouping.rep)
+    for node in nodes:
+        quotient.add_element(grouping.rep(node))
+    outer = quotient.topological_sort()
+    sequence: List[str] = []
+    for rep in outer:
+        members = grouping.groups.get(rep)
+        if members is None:
+            sequence.append(rep)
+        else:
+            internal = constraints.restricted_to(members)
+            for member in members:
+                internal.add_element(member)
+            sequence.extend(internal.topological_sort())
+    return sequence
+
+
+def is_contiguous(sequence: List[str], members: List[str]) -> bool:
+    """True when ``members`` occupy consecutive positions of ``sequence``
+    (diagnostic helper for tests and examples)."""
+    positions = sorted(sequence.index(m) for m in members)
+    return all(
+        later == earlier + 1 for earlier, later in zip(positions, positions[1:])
+    )

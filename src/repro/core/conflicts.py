@@ -1,0 +1,78 @@
+"""The generalized conflict relation ``CON`` (Def. 11).
+
+Conflicts are natively defined only *within* a schedule.  To reason
+across the whole composite system the paper generalizes them:
+
+1. operations of a common schedule conflict exactly when that schedule
+   says so (``CON_S``);
+2. operations of different schedules are **assumed** to conflict when
+   they are related by the observed order — something interacted below,
+   and without semantic knowledge the system must be pessimistic.
+
+Rule 2 is also why conflicts can *disappear* during reduction: once two
+nodes are pulled up into operations of a common schedule, that
+schedule's (possibly commuting) verdict replaces the pessimistic
+assumption.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from repro.core.orders import Relation
+from repro.core.system import CompositeSystem
+
+
+def generalized_conflict(
+    system: CompositeSystem, observed: Relation, a: str, b: str
+) -> bool:
+    """``CON(a, b)`` per Def. 11, relative to the given observed order."""
+    if a == b:
+        return False
+    shared = system.common_schedule(a, b)
+    if shared is not None:
+        return system.schedule(shared).conflicting(a, b)
+    return observed.orders(a, b)
+
+
+def conflict_pairs(
+    system: CompositeSystem, observed: Relation, nodes: Iterable[str]
+) -> Set[FrozenSet[str]]:
+    """All generalized-conflict pairs among ``nodes`` (for front reports)."""
+    node_list = list(nodes)
+    pairs: Set[FrozenSet[str]] = set()
+    for i, a in enumerate(node_list):
+        for b in node_list[i + 1:]:
+            if generalized_conflict(system, observed, a, b):
+                pairs.add(frozenset((a, b)))
+    return pairs
+
+
+def conflict_digest(
+    system: CompositeSystem, observed: Relation, nodes: Iterable[str]
+) -> List[Tuple[str, str, str]]:
+    """Human-readable conflict listing: ``(a, b, source)`` triples where
+    ``source`` is the adjudicating schedule name or ``"observed"`` for
+    cross-schedule pessimistic conflicts.  Used by the F2 benchmark and
+    the ASCII renderer."""
+    digest: List[Tuple[str, str, str]] = []
+    node_list = sorted(nodes)
+    for i, a in enumerate(node_list):
+        for b in node_list[i + 1:]:
+            shared = system.common_schedule(a, b)
+            if shared is not None:
+                if system.schedule(shared).conflicting(a, b):
+                    digest.append((a, b, shared))
+            elif observed.orders(a, b):
+                digest.append((a, b, "observed"))
+    return digest
+
+
+def iter_schedule_conflicts(
+    system: CompositeSystem,
+) -> Iterator[Tuple[str, str, str]]:
+    """Every declared schedule-local conflict as ``(schedule, a, b)``."""
+    for sname, schedule in system.schedules.items():
+        for pair in sorted(schedule.conflicts, key=sorted):
+            a, b = sorted(pair)
+            yield (sname, a, b)

@@ -1,0 +1,136 @@
+"""Cross-system equivalence (Def. 18 in its full generality).
+
+Def. 18 deliberately compares fronts of *different* composite systems:
+"This definition allows composite systems to be compared, even without
+having the same structure since the front F can be some level j front of
+another CS.  In that case, what happens on lower levels is irrelevant,
+as long as the effect on the levels i and j is the same."
+
+This module turns that into an API: extract the level-``i`` front of one
+system, the level-``j`` front of another, optionally rename nodes, and
+compare.  The flagship use is abstraction checking — proving that a deep
+composite execution is indistinguishable, at the root level, from a
+flat single-schedule execution (or from a differently-factored
+composite) — which is how component refactorings can be verified not to
+change transactional behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Union
+
+from repro.core.front import Front
+from repro.core.observed import ObservedOrderOptions
+from repro.core.orders import Relation
+from repro.core.reduction import ReductionEngine
+from repro.core.serial import level_equivalent
+from repro.core.system import CompositeSystem
+from repro.exceptions import ReductionError
+
+
+def front_at_level(
+    system: CompositeSystem,
+    level: int,
+    options: ObservedOrderOptions = ObservedOrderOptions(),
+) -> Front:
+    """The system's level-``level`` front (Def. 16).
+
+    Raises :class:`ReductionError` when no such front exists (the
+    execution fails before that level — only correct prefixes have
+    fronts) or when ``level`` exceeds the system order.
+    """
+    result = ReductionEngine(system, options).run(stop_level=level)
+    if not result.succeeded:
+        raise ReductionError(
+            f"no level-{level} front: {result.failure.describe()}"
+        )
+    return result.final_front
+
+
+def rename_front(front: Front, mapping: Mapping[str, str]) -> Front:
+    """A copy of ``front`` with nodes renamed through ``mapping``
+    (identity for unmapped nodes).  Renaming must stay injective on the
+    front's nodes."""
+    def rep(node: str) -> str:
+        return mapping.get(node, node)
+
+    renamed_nodes = [rep(n) for n in front.nodes]
+    if len(set(renamed_nodes)) != len(renamed_nodes):
+        raise ValueError("renaming collapses distinct front nodes")
+    return Front(
+        level=front.level,
+        nodes=tuple(renamed_nodes),
+        observed=front.observed.mapped(rep, drop_loops=False),
+        input_weak=front.input_weak.mapped(rep, drop_loops=False),
+        input_strong=front.input_strong.mapped(rep, drop_loops=False),
+    )
+
+
+def level_equivalent_systems(
+    system_a: CompositeSystem,
+    level_a: int,
+    system_b: CompositeSystem,
+    level_b: int,
+    *,
+    rename: Optional[Mapping[str, str]] = None,
+    options: ObservedOrderOptions = ObservedOrderOptions(),
+) -> bool:
+    """Def. 18 across systems: is ``system_a``'s level-``level_a`` front
+    identical to ``system_b``'s level-``level_b`` front (after applying
+    ``rename`` to the first)?
+
+    Lower levels are irrelevant by construction — only the fronts are
+    compared.  Executions that fail before the requested level have no
+    front and are never equivalent to anything.
+    """
+    try:
+        front_a = front_at_level(system_a, level_a, options)
+        front_b = front_at_level(system_b, level_b, options)
+    except ReductionError:
+        return False
+    if rename:
+        front_a = rename_front(front_a, rename)
+    return level_equivalent(front_a, front_b)
+
+
+def abstracts_to_flat(
+    system: CompositeSystem,
+    flat: CompositeSystem,
+    *,
+    rename: Optional[Mapping[str, str]] = None,
+    options: ObservedOrderOptions = ObservedOrderOptions(),
+) -> bool:
+    """Does the composite execution abstract to the given *flat* (order-1)
+    execution?  I.e. is the composite's root front identical to the flat
+    system's root front — the refactoring-safety check described in the
+    module docstring."""
+    if flat.order != 1:
+        raise ValueError("the reference system must be flat (order 1)")
+    return level_equivalent_systems(
+        system,
+        system.order,
+        flat,
+        1,
+        rename=rename,
+        options=options,
+    )
+
+
+def root_behaviour(
+    system: CompositeSystem,
+    options: ObservedOrderOptions = ObservedOrderOptions(),
+) -> Optional[Dict[str, List]]:
+    """A structural digest of the root-level behaviour: observed pairs
+    and input pairs over roots — ``None`` for incorrect executions.
+    Two systems with equal digests are level-N/level-M equivalent up to
+    node identity."""
+    try:
+        front = front_at_level(system, system.order, options)
+    except ReductionError:
+        return None
+    return {
+        "nodes": sorted(front.nodes),
+        "observed": sorted(front.observed.pairs()),
+        "input_weak": sorted(front.input_weak.pairs()),
+        "input_strong": sorted(front.input_strong.pairs()),
+    }

@@ -1,0 +1,158 @@
+"""The observed order ``<_o`` (Def. 10).
+
+The observed order is the device that relates transactions which share
+no schedule: execution dependencies observed at lower levels are pulled
+up the execution trees until they meet.  Its rules:
+
+1. leaf atomicity — the order a schedule gives its operations is
+   observed (Def. 10.1);
+2. conflicting, ordered operations of one schedule induce an observed
+   order between their *parents* (Def. 10.2);
+3. an observed pair whose endpoints are **not** operations of a common
+   schedule propagates to the parents unconditionally (Def. 10.3) —
+   but when the endpoints *are* operations of a common schedule that
+   declares them non-conflicting, the pair is **forgotten**: that
+   schedule knows the operations commute, and its knowledge overrides
+   orders incidental at lower levels (the §3.7 "forgotten orders" step);
+4. transitive closure (Def. 10.4).
+
+Operational notes (documented in DESIGN.md §2.1):
+
+* Seeding is conflict-gated: a schedule's ordered pair enters the
+  observed order when the operations conflict there.  Def. 15/16
+  quantify over re-orderings of commuting pairs (the front ``F**``), so
+  an ordered-but-commuting pair is not a *fact* worth recording; the
+  ``seed_leaf_order`` option restores the verbatim Def.-10.1 reading
+  (every ordered leaf pair) for the A1 ablation benchmark.
+* Pull-up happens stepwise: grouping ``a`` into its parent rewrites the
+  pair ``(a, b)`` to ``(parent(a), b)``; when ``b`` is grouped later the
+  pair becomes ``(parent(a), parent(b))``, with the Def.-10.2/10.3 gate
+  (inspecting the pre-rewrite endpoints) applied at each step.
+  Composing the rewrites yields exactly the Def.-10 pairs.
+* Whether an observed pair *constrains* a calculation is a separate
+  question answered by the generalized conflict relation (Def. 11) in
+  :mod:`repro.core.calculation` — commuting same-schedule pairs sit in
+  the observed order (transitivity needs them) without restricting the
+  re-ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Tuple
+
+from repro.core.orders import Relation
+from repro.core.system import CompositeSystem
+
+
+@dataclass(frozen=True)
+class ObservedOrderOptions:
+    """Tuning knobs for the observed-order engine.
+
+    ``forget_nonconflicting``
+        Apply the §3.7 forgetting rule (Def. 10.2 gate).  Disabling it
+        propagates every pulled-up pair, making the criterion strictly
+        more conservative — the A1 ablation measures the cost.
+    ``seed_leaf_order``
+        Seed observed pairs from *all* ordered leaf pairs rather than
+        only conflicting ones (the verbatim Def. 10.1 reading; see the
+        module docstring for why the default restricts to conflicts).
+    """
+
+    forget_nonconflicting: bool = True
+    seed_leaf_order: bool = False
+
+
+def seed_observed_pairs(
+    system: CompositeSystem,
+    nodes: Iterable[str],
+    options: ObservedOrderOptions = ObservedOrderOptions(),
+) -> Iterator[Tuple[str, str]]:
+    """Observed pairs among ``nodes`` sourced from schedule output orders.
+
+    For every pair of nodes that are operations of a common schedule
+    ``S`` and ordered by ``S``'s weak output order, the pair is observed
+    when the operations conflict under ``CON_S`` (or, with
+    ``seed_leaf_order``, when either endpoint is a leaf — Def. 10.1).
+    """
+    node_list = list(nodes)
+    by_schedule: dict = {}
+    for node in node_list:
+        owner = system.schedule_of_operation(node)
+        if owner is not None:
+            by_schedule.setdefault(owner, []).append(node)
+    for sname, members in by_schedule.items():
+        schedule = system.schedule(sname)
+        output = schedule.weak_output
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                forced = schedule.conflicting(a, b)
+                if not forced and options.seed_leaf_order:
+                    forced = system.is_leaf(a) or system.is_leaf(b)
+                if not forced:
+                    continue
+                if (a, b) in output:
+                    yield (a, b)
+                if (b, a) in output:
+                    yield (b, a)
+
+
+def pull_up(
+    system: CompositeSystem,
+    observed: Relation,
+    representative: Callable[[str], str],
+    options: ObservedOrderOptions = ObservedOrderOptions(),
+) -> Relation:
+    """One reduction step of the observed order (Def. 10.2/10.3).
+
+    ``representative`` maps each current node either to itself (not
+    grouped this step) or to its parent transaction (grouped).  Pairs
+    internal to one group vanish.  Pairs with at least one grouped
+    endpoint are rewritten to the representatives, gated per Def. 10:
+
+    * endpoints that are operations of a **common schedule** propagate
+      only when that schedule declares them conflicting (Def. 10.2) —
+      otherwise the schedule vouches for commutativity and the order is
+      *forgotten* (the §3.7 walk-through);
+    * endpoints on **different schedules** propagate unconditionally
+      (Def. 10.3) — nobody can vouch, so the dependency is kept
+      pessimistically.
+
+    Untouched pairs are carried over verbatim.  Note the gate inspects
+    the *old* endpoints: a pair between commuting operations of one
+    schedule can only have entered the observed order through
+    transitivity (seeding and propagation are both conflict-gated), and
+    while it stays in the front it still witnesses a chain of forced
+    orders — only its propagation past the vouching schedule is blocked.
+    """
+    result = Relation(
+        elements=(representative(n) for n in observed.elements)
+    )
+    for a, b in observed.pairs():
+        ra, rb = representative(a), representative(b)
+        if ra == a and rb == b:
+            result.add(a, b)
+            continue
+        if ra == rb:
+            continue  # internal to one calculation — reduced away
+        if options.forget_nonconflicting:
+            shared = system.common_schedule(a, b)
+            if shared is not None and not system.schedule(shared).conflicting(
+                a, b
+            ):
+                continue  # the forgetting rule: commutativity is vouched for
+        result.add(ra, rb)
+    return result
+
+
+def observed_between_trees(
+    system: CompositeSystem, observed: Relation, root_a: str, root_b: str
+) -> bool:
+    """True when any node of ``root_a``'s tree is observed-ordered with
+    any node of ``root_b``'s tree (diagnostic helper used by examples)."""
+    tree_a = system.composite_transaction(root_a)
+    tree_b = system.composite_transaction(root_b)
+    for a, b in observed.pairs():
+        if (a in tree_a and b in tree_b) or (a in tree_b and b in tree_a):
+            return True
+    return False

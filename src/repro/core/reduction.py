@@ -1,0 +1,261 @@
+"""The level-by-level reduction (Def. 15–16) and Theorem 1.
+
+Starting from the level-0 front (all leaves), each step ``i``:
+
+1. checks that every level-``i`` transaction admits a *calculation*
+   (Def. 14) in some legal re-ordering of the front — the quotient
+   acyclicity test of :mod:`repro.core.calculation`;
+2. replaces the operations of each level-``i`` transaction by the
+   transaction itself (the reduction step);
+3. pulls the observed order up (Def. 10) and re-seeds it from schedule
+   output orders that have become visible;
+4. drops relations internal to reduced transactions;
+5. keeps root transactions in the front (they are their own parent, so
+   they are simply never grouped);
+6. includes the input orders of the level-``i`` schedules and checks the
+   new front is conflict consistent (Def. 13).
+
+By Theorem 1, the composite execution is Comp-C **iff** all ``N`` steps
+succeed.  On failure the engine returns a
+:class:`repro.core.front.ReductionFailure` carrying a witness cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.core.calculation import (
+    calculation_constraints,
+    find_isolation_failure,
+    grouping_for_level,
+    witness_sequence,
+)
+from repro.core.front import Front, ReductionFailure
+from repro.core.observed import (
+    ObservedOrderOptions,
+    pull_up,
+    seed_observed_pairs,
+)
+from repro.core.orders import Relation
+from repro.core.system import CompositeSystem
+from repro.exceptions import ReductionError
+
+
+@dataclass
+class ReductionResult:
+    """The outcome of running the reduction on a composite system.
+
+    ``fronts`` holds every successfully constructed front, level 0
+    upward.  When ``failure`` is ``None`` the last front is the level-N
+    front over the root transactions and the execution is Comp-C
+    (Theorem 1).
+    """
+
+    system: CompositeSystem
+    options: ObservedOrderOptions
+    fronts: List[Front] = field(default_factory=list)
+    failure: Optional[ReductionFailure] = None
+    witnesses: List[List[str]] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.failure is None
+
+    @property
+    def final_front(self) -> Front:
+        if not self.fronts:
+            raise ReductionError("reduction produced no fronts")
+        return self.fronts[-1]
+
+    def serial_order(self) -> List[str]:
+        """A serial order of the root transactions witnessing correctness
+        (Theorem 1's topological sort).  Raises when the reduction failed."""
+        if not self.succeeded:
+            raise ReductionError(
+                "no serial order: the reduction failed "
+                f"({self.failure.describe()})"
+            )
+        return self.final_front.serialization()
+
+    def narrative(self) -> str:
+        """A human-readable account of the whole reduction, front by
+        front — the format the examples and the F3/F4 benchmarks print."""
+        lines: List[str] = []
+        for front in self.fronts:
+            lines.append(
+                f"level {front.level} front: "
+                f"{{{', '.join(front.nodes)}}}"
+            )
+            obs = ", ".join(f"{a}<{b}" for a, b in front.observed.pairs())
+            lines.append(f"  observed order: {obs or '(empty)'}")
+            inp = ", ".join(f"{a}->{b}" for a, b in front.input_weak.pairs())
+            lines.append(f"  input orders:   {inp or '(empty)'}")
+        if self.failure is not None:
+            lines.append(f"REJECTED -- {self.failure.describe()}")
+        else:
+            lines.append(
+                "ACCEPTED -- serial witness: "
+                + " << ".join(self.serial_order())
+            )
+        return "\n".join(lines)
+
+
+class ReductionEngine:
+    """Runs Def. 16 on one composite system."""
+
+    def __init__(
+        self,
+        system: CompositeSystem,
+        options: ObservedOrderOptions = ObservedOrderOptions(),
+    ) -> None:
+        self.system = system
+        self.options = options
+
+    # ------------------------------------------------------------------
+    def level0_front(self) -> Front:
+        """Def. 15: the (unique) front over all leaves."""
+        leaves = tuple(self.system.leaves)
+        observed = Relation(elements=leaves)
+        observed.add_all(
+            seed_observed_pairs(self.system, leaves, self.options)
+        )
+        return Front(
+            level=0,
+            nodes=leaves,
+            observed=observed.transitive_closure(),
+            input_weak=Relation(elements=leaves),
+            input_strong=Relation(elements=leaves),
+        )
+
+    def next_front(
+        self,
+        front: Front,
+        *,
+        _prepared: "Optional[tuple]" = None,
+    ) -> Union[Front, ReductionFailure]:
+        """One reduction step: construct the level-``i+1`` front, or
+        explain why none exists.
+
+        ``_prepared`` lets :meth:`run` pass an already-computed
+        ``(grouping, constraints)`` pair so the witness extraction and
+        the step share the work.
+        """
+        level = front.level + 1
+        system = self.system
+        if _prepared is None:
+            self._check_materialization(front, level)
+            grouping = grouping_for_level(system, front.nodes, level)
+            constraints = calculation_constraints(system, front, grouping)
+        else:
+            grouping, constraints = _prepared
+        failure = find_isolation_failure(constraints, grouping)
+        if failure is not None:
+            return failure
+
+        new_nodes = grouping.new_nodes(front.nodes)
+        # A level-i transaction with no operations is grouped from
+        # nothing, but it still becomes a front node (Def. 16 step 2 —
+        # its calculation is the empty sequence, trivially isolated).
+        present = set(new_nodes)
+        empties = tuple(
+            tname
+            for sname in system.schedules_at_level(level)
+            for tname in system.schedule(sname).transaction_names
+            if tname not in present
+        )
+        new_nodes = new_nodes + empties
+        observed = pull_up(system, front.observed, grouping.rep, self.options)
+        for node in new_nodes:
+            observed.add_element(node)
+        observed.add_all(
+            seed_observed_pairs(system, new_nodes, self.options)
+        )
+        observed = observed.transitive_closure()
+
+        input_weak = front.input_weak.restricted_to(new_nodes)
+        input_strong = front.input_strong.restricted_to(new_nodes)
+        for node in new_nodes:
+            input_weak.add_element(node)
+            input_strong.add_element(node)
+        for sname in system.schedules_at_level(level):
+            schedule = system.schedule(sname)
+            input_weak.add_all(schedule.weak_input.pairs())
+            input_strong.add_all(schedule.strong_input.pairs())
+
+        candidate = Front(
+            level=level,
+            nodes=new_nodes,
+            observed=observed,
+            input_weak=input_weak.transitive_closure(),
+            input_strong=input_strong.transitive_closure(),
+        )
+        cycle = candidate.consistency_violation()
+        if cycle is not None:
+            return ReductionFailure(
+                level=level, stage="cc", cycle=cycle, rejected_front=candidate
+            )
+        return candidate
+
+    def _check_materialization(self, front: Front, level: int) -> None:
+        """Engine invariant: every operation of every level-``level``
+        transaction must already be a front node."""
+        members = set(front.nodes)
+        for sname in self.system.schedules_at_level(level):
+            for tname in self.system.schedule(sname).transaction_names:
+                for op in self.system.children(tname):
+                    if op not in members:
+                        raise ReductionError(
+                            f"operation {op!r} of level-{level} transaction "
+                            f"{tname!r} is not in the level-{front.level} "
+                            "front — reduction invariant broken"
+                        )
+
+    # ------------------------------------------------------------------
+    def run(self, *, stop_level: Optional[int] = None) -> ReductionResult:
+        """Run the reduction up to ``stop_level`` (default: the system
+        order ``N``, i.e. all the way to the roots)."""
+        target = self.system.order if stop_level is None else stop_level
+        if target > self.system.order:
+            raise ReductionError(
+                f"requested level {target} exceeds the system order "
+                f"{self.system.order}"
+            )
+        result = ReductionResult(system=self.system, options=self.options)
+        front = self.level0_front()
+        cycle = front.consistency_violation()
+        if cycle is not None:
+            result.failure = ReductionFailure(level=0, stage="cc", cycle=cycle)
+            return result
+        result.fronts.append(front)
+        while front.level < target:
+            self._check_materialization(front, front.level + 1)
+            grouping = grouping_for_level(
+                self.system, front.nodes, front.level + 1
+            )
+            constraints = calculation_constraints(self.system, front, grouping)
+            outcome = self.next_front(front, _prepared=(grouping, constraints))
+            if isinstance(outcome, ReductionFailure):
+                result.failure = outcome
+                return result
+            result.witnesses.append(
+                witness_sequence(constraints, grouping, front.nodes)
+            )
+            front = outcome
+            result.fronts.append(front)
+        if target == self.system.order and result.succeeded:
+            expected = set(self.system.roots)
+            if set(front.nodes) != expected:  # pragma: no cover - invariant
+                raise ReductionError(
+                    "level-N front is not the root set: "
+                    f"{set(front.nodes)} != {expected}"
+                )
+        return result
+
+
+def reduce_to_roots(
+    system: CompositeSystem,
+    options: ObservedOrderOptions = ObservedOrderOptions(),
+) -> ReductionResult:
+    """Run the full reduction (Theorem 1 decision procedure)."""
+    return ReductionEngine(system, options).run()

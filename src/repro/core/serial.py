@@ -1,0 +1,106 @@
+"""Serial fronts and level-``i`` containment (Def. 17–20).
+
+These are the *definitional* notions of correctness; Theorem 1 proves
+them equivalent to the reduction succeeding.  The checks here are kept
+independent of the reduction engine's internals so the T1 benchmark can
+cross-validate the theorem constructively: for every accepted execution
+we build the serial front by topological sorting (exactly the
+construction in the Theorem 1 proof) and verify all three containment
+conditions; for every rejected execution we verify the failure
+certificate (see :mod:`repro.core.certificates`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.front import Front
+from repro.core.reduction import ReductionResult
+from repro.exceptions import ReductionError
+
+
+@dataclass
+class ContainmentCheck:
+    """The outcome of a Def.-19 containment verification."""
+
+    holds: bool
+    reasons: List[str]
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def level_equivalent(front_a: Front, front_b: Front) -> bool:
+    """Def. 18 specialized to concrete fronts: identical node sets,
+    observed orders and input orders."""
+    return (
+        set(front_a.nodes) == set(front_b.nodes)
+        and front_a.observed == front_b.observed
+        and front_a.input_weak == front_b.input_weak
+        and front_a.input_strong == front_b.input_strong
+    )
+
+
+def check_containment(front: Front, serial: Front) -> ContainmentCheck:
+    """Def. 19: is ``front`` level-i-contained in ``serial``?
+
+    1. same node set (we use the front itself as the ``F*`` of Def. 19.1);
+    2. the serial front's order contains the front's input orders *and*
+       its observed order (the Theorem 1 proof requires
+       ``→_FS ⊇ (≺ ∪ →)``);
+    3. the conflict material agrees — with identical node sets and
+       observed orders this is automatic, so we check observed-order
+       agreement directly.
+    """
+    reasons: List[str] = []
+    if set(front.nodes) != set(serial.nodes):
+        reasons.append(
+            f"node sets differ: {sorted(front.nodes)} vs "
+            f"{sorted(serial.nodes)}"
+        )
+    serial_order = serial.input_strong
+    for a, b in front.input_weak.pairs():
+        if (a, b) not in serial_order:
+            reasons.append(f"input order {a} -> {b} not in the serial order")
+    for a, b in front.observed.pairs():
+        if (a, b) not in serial_order:
+            reasons.append(f"observed order {a} < {b} not in the serial order")
+    for a, b in front.observed.pairs():
+        if (a, b) not in serial.observed:
+            reasons.append(f"observed pair {a} < {b} missing from serial front")
+    return ContainmentCheck(holds=not reasons, reasons=reasons)
+
+
+def serial_front_of(result: ReductionResult) -> Front:
+    """The serial front a successful reduction is contained in
+    (the Theorem 1 'if'-direction construction)."""
+    if not result.succeeded:
+        raise ReductionError(
+            "reduction failed; no serial front exists by Theorem 1"
+        )
+    return result.final_front.as_serial_front()
+
+
+def verify_theorem1_if_direction(
+    result: ReductionResult,
+) -> ContainmentCheck:
+    """Constructive validation of Theorem 1 (if): given a level-N front,
+    build the serial front and confirm Def.-19 containment plus
+    Def.-17 seriality."""
+    serial = serial_front_of(result)
+    check = check_containment(result.final_front, serial)
+    reasons = list(check.reasons)
+    if not serial.is_serial():
+        reasons.append("constructed front is not serial (Def. 17)")
+    if not serial.is_conflict_consistent():
+        reasons.append("constructed serial front is not CC")
+    return ContainmentCheck(holds=not reasons, reasons=reasons)
+
+
+def serial_execution_order(result: ReductionResult) -> Optional[List[str]]:
+    """The equivalent serial order over root transactions, or ``None``
+    for rejected executions."""
+    if not result.succeeded:
+        return None
+    return result.serial_order()

@@ -1,0 +1,143 @@
+"""Transactions (Def. 2 of the paper).
+
+A transaction is a triple ``(O_t, ≺_t, ≪_t)``: a finite set of
+operations together with a weak and a strong intra-transaction order,
+with ``≪_t ⊆ ≺_t``.  Operation names are plain strings; whether a name
+denotes an elementary (leaf) operation or a subtransaction executed by
+another schedule is a property of the *composite system* (Def. 4), not
+of the transaction itself — the same ``Transaction`` object works in
+both roles.
+
+Strong intra-order means strict temporal sequencing ("must complete
+before the next starts"); weak intra-order means the *net effect* must
+be as if sequential (data flows in order), which still admits concurrent
+execution of non-conflicting pieces (Def. 1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.core.orders import Relation
+from repro.exceptions import CycleError, ModelError
+
+
+class Transaction:
+    """An immutable Def.-2 transaction.
+
+    Parameters
+    ----------
+    name:
+        Globally unique transaction name.
+    operations:
+        The operation names of ``O_t`` (order of mention is kept for
+        display but carries no semantics).
+    weak_order:
+        Pairs ``(a, b)`` asserting ``a ≺_t b``.
+    strong_order:
+        Pairs ``(a, b)`` asserting ``a ≪_t b``.  Automatically included
+        in the weak order (the paper requires ``≪_t ⊆ ≺_t``).
+    sequential:
+        Convenience flag: when true, the mention order of ``operations``
+        becomes a total *strong* order (a fully sequential program).
+    """
+
+    __slots__ = ("name", "_operations", "_weak", "_strong")
+
+    def __init__(
+        self,
+        name: str,
+        operations: Sequence[str],
+        weak_order: Iterable[Tuple[str, str]] = (),
+        strong_order: Iterable[Tuple[str, str]] = (),
+        *,
+        sequential: bool = False,
+    ) -> None:
+        if not name:
+            raise ModelError("transaction name must be non-empty")
+        ops = tuple(operations)
+        if len(set(ops)) != len(ops):
+            raise ModelError(f"transaction {name!r} lists duplicate operations")
+        if name in ops:
+            raise ModelError(f"transaction {name!r} cannot contain itself")
+        self.name = name
+        self._operations = ops
+
+        strong = Relation(elements=ops)
+        if sequential:
+            for earlier, later in zip(ops, ops[1:]):
+                strong.add(earlier, later)
+        for a, b in strong_order:
+            self._require_member(a)
+            self._require_member(b)
+            strong.add(a, b)
+
+        weak = strong.copy()
+        for a, b in weak_order:
+            self._require_member(a)
+            self._require_member(b)
+            weak.add(a, b)
+
+        weak = weak.transitive_closure()
+        strong = strong.transitive_closure()
+        cycle = weak.find_cycle()
+        if cycle is not None:
+            raise CycleError(
+                f"intra-transaction order of {name!r} is cyclic", cycle
+            )
+        self._weak = weak
+        self._strong = strong
+
+    def _require_member(self, op: str) -> None:
+        if op not in self._operations:
+            raise ModelError(
+                f"operation {op!r} ordered by transaction {self.name!r} "
+                "but not in its operation set"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def operations(self) -> Tuple[str, ...]:
+        """``O_t`` in mention order."""
+        return self._operations
+
+    @property
+    def weak_order(self) -> Relation:
+        """``≺_t``, transitively closed."""
+        return self._weak
+
+    @property
+    def strong_order(self) -> Relation:
+        """``≪_t``, transitively closed (always ``⊆ weak_order``)."""
+        return self._strong
+
+    def weakly_ordered(self, a: str, b: str) -> bool:
+        """True iff ``a ≺_t b``."""
+        return (a, b) in self._weak
+
+    def strongly_ordered(self, a: str, b: str) -> bool:
+        """True iff ``a ≪_t b``."""
+        return (a, b) in self._strong
+
+    def is_sequential(self) -> bool:
+        """True iff the strong order is total over the operations."""
+        return self._strong.is_total_over(self._operations)
+
+    def __len__(self) -> int:
+        return len(self._operations)
+
+    def __repr__(self) -> str:
+        return f"Transaction({self.name!r}, ops={list(self._operations)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Transaction):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self._operations == other._operations
+            and self._weak == other._weak
+            and self._strong == other._strong
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self._operations))

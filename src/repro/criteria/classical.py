@@ -1,0 +1,176 @@
+"""Classical flat-history conflict serializability (the CSR baseline).
+
+The paper positions Comp-C against the textbook theory [BHG87]: a flat
+history over read/write operations is conflict serializable iff its
+serialization graph is acyclic.  This module implements that baseline
+from scratch — flat operations, histories, the conflict relation (same
+item, at least one write), the serialization graph and the CSR test —
+both for its own sake (benchmarks, teaching examples) and as the
+degenerate single-schedule case the composite theory must agree with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.orders import Relation
+from repro.exceptions import ModelError
+
+
+@dataclass(frozen=True)
+class FlatOp:
+    """One read or write of a flat history."""
+
+    txn: str
+    kind: str  # "r" or "w"
+    item: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("r", "w"):
+            raise ModelError(f"operation kind must be 'r' or 'w', not {self.kind!r}")
+
+    def conflicts_with(self, other: "FlatOp") -> bool:
+        """Same item, different transactions, at least one write."""
+        return (
+            self.item == other.item
+            and self.txn != other.txn
+            and ("w" in (self.kind, other.kind))
+        )
+
+    def __str__(self) -> str:
+        return f"{self.kind}_{self.txn}[{self.item}]"
+
+
+def read(txn: str, item: str) -> FlatOp:
+    """Convenience constructor: ``read("T1", "x")``."""
+    return FlatOp(txn, "r", item)
+
+
+def write(txn: str, item: str) -> FlatOp:
+    """Convenience constructor: ``write("T1", "x")``."""
+    return FlatOp(txn, "w", item)
+
+
+class FlatHistory:
+    """A totally ordered flat history of read/write operations."""
+
+    def __init__(self, operations: Sequence[FlatOp]) -> None:
+        self.operations: Tuple[FlatOp, ...] = tuple(operations)
+
+    @classmethod
+    def parse(cls, text: str) -> "FlatHistory":
+        """Parse the compact textbook notation, e.g.
+        ``"r1[x] w2[x] w1[y] c"`` — commits (``c``/``a`` markers) are
+        ignored; transaction ids become ``T<n>``."""
+        ops: List[FlatOp] = []
+        for token in text.split():
+            if token in ("c", "a") or token.startswith(("c", "a")) and token[1:].isdigit():
+                continue
+            kind = token[0]
+            rest = token[1:]
+            if "[" not in rest or not rest.endswith("]"):
+                raise ModelError(f"cannot parse operation token {token!r}")
+            txn_id, item = rest[:-1].split("[", 1)
+            ops.append(FlatOp(f"T{txn_id}", kind, item))
+        return cls(ops)
+
+    @property
+    def transactions(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for op in self.operations:
+            seen.setdefault(op.txn, None)
+        return tuple(seen)
+
+    @property
+    def items(self) -> Set[str]:
+        return {op.item for op in self.operations}
+
+    def operations_of(self, txn: str) -> List[FlatOp]:
+        return [op for op in self.operations if op.txn == txn]
+
+    def conflict_pairs(self) -> Iterable[Tuple[int, int]]:
+        """Index pairs ``(i, j)``, ``i < j``, of conflicting operations."""
+        for i, a in enumerate(self.operations):
+            for j in range(i + 1, len(self.operations)):
+                if a.conflicts_with(self.operations[j]):
+                    yield (i, j)
+
+    def first_position(self, txn: str) -> int:
+        for i, op in enumerate(self.operations):
+            if op.txn == txn:
+                return i
+        raise ModelError(f"transaction {txn!r} not in history")
+
+    def last_position(self, txn: str) -> int:
+        for i in range(len(self.operations) - 1, -1, -1):
+            if self.operations[i].txn == txn:
+                return i
+        raise ModelError(f"transaction {txn!r} not in history")
+
+    def is_serial(self) -> bool:
+        """True when transactions never interleave."""
+        current: Optional[str] = None
+        finished: Set[str] = set()
+        for op in self.operations:
+            if op.txn != current:
+                if op.txn in finished:
+                    return False
+                if current is not None:
+                    finished.add(current)
+                current = op.txn
+        return True
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __str__(self) -> str:
+        return " ".join(str(op) for op in self.operations)
+
+
+def serialization_graph(history: FlatHistory) -> Relation:
+    """``T → T'`` when an operation of ``T`` precedes a conflicting
+    operation of ``T'`` (the classical SG)."""
+    graph = Relation(elements=history.transactions)
+    for i, j in history.conflict_pairs():
+        graph.add(history.operations[i].txn, history.operations[j].txn)
+    return graph
+
+
+def is_conflict_serializable(history: FlatHistory) -> bool:
+    """The CSR test: acyclicity of the serialization graph.
+
+    >>> is_conflict_serializable(FlatHistory.parse("r1[x] w1[x] r2[x]"))
+    True
+    >>> is_conflict_serializable(FlatHistory.parse("r1[x] r2[x] w1[x] w2[x]"))
+    False
+    """
+    return serialization_graph(history).is_acyclic()
+
+
+def csr_serial_order(history: FlatHistory) -> Optional[List[str]]:
+    """An equivalent serial transaction order, or ``None`` when not CSR."""
+    graph = serialization_graph(history)
+    if not graph.is_acyclic():
+        return None
+    return graph.topological_sort()
+
+
+def precedence_graph(history: FlatHistory) -> Relation:
+    """``T → T'`` when ``T`` finished before ``T'`` started (the temporal
+    non-overlap order that OPSR must preserve)."""
+    graph = Relation(elements=history.transactions)
+    txns = history.transactions
+    for a in txns:
+        for b in txns:
+            if a != b and history.last_position(a) < history.first_position(b):
+                graph.add(a, b)
+    return graph
+
+
+def is_order_preserving_serializable(history: FlatHistory) -> bool:
+    """OPSR [BBG89] on flat histories: a serial order must exist that
+    respects both the conflicts and the temporal precedence of
+    non-overlapping transactions."""
+    combined = serialization_graph(history).union(precedence_graph(history))
+    return combined.is_acyclic()

@@ -1,0 +1,94 @@
+"""Uniform interface over every correctness criterion.
+
+The analysis package and the benchmark harness need to run "every
+criterion that applies" over a recorded execution and tabulate verdicts.
+:class:`RecordedExecution` bundles a composite system with the temporal
+execution sequences the order-sensitive criteria (OPSR, seriality) need;
+:func:`classify` returns a name → verdict mapping, skipping criteria
+whose structural preconditions (stack/fork/join) fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.core.correctness import is_composite_correct
+from repro.core.system import CompositeSystem
+from repro.criteria.fork import is_fcc, is_fork
+from repro.criteria.join import is_jcc, is_join
+from repro.criteria.llsr import is_llsr
+from repro.criteria.opsr import is_opsr
+from repro.criteria.stack import is_scc, is_stack
+
+
+@dataclass
+class RecordedExecution:
+    """A composite execution plus its temporal layout.
+
+    ``executions`` maps schedule names to the temporal operation
+    sequences actually observed; criteria that only need committed
+    orders ignore it.
+    """
+
+    system: CompositeSystem
+    executions: Dict[str, Sequence[str]] = field(default_factory=dict)
+
+    def is_serial_layout(self) -> bool:
+        """True when no schedule interleaved operations of different
+        transactions (the strongest, trivially correct layout)."""
+        for name, execution in self.executions.items():
+            schedule = self.system.schedule(name)
+            seen_done = set()
+            current: Optional[str] = None
+            for op in execution:
+                txn = schedule.transaction_of(op)
+                if txn != current:
+                    if txn in seen_done:
+                        return False
+                    if current is not None:
+                        seen_done.add(current)
+                    current = txn
+        return True
+
+
+#: Criterion names in permissiveness order (narrowest first) as used by
+#: the H1 hierarchy benchmark.
+CRITERIA_ORDER = ("serial", "llsr", "opsr", "scc", "fcc", "jcc", "comp_c")
+
+
+def classify(recorded: RecordedExecution) -> Mapping[str, Optional[bool]]:
+    """Verdict of every criterion on a recorded execution.
+
+    Returns a mapping from criterion name to ``True``/``False``;
+    criteria whose structural precondition does not hold map to
+    ``None`` (not applicable).
+    """
+    system = recorded.system
+    stacky = is_stack(system)
+    forky = is_fork(system)
+    joiny = is_join(system)
+    verdicts: Dict[str, Optional[bool]] = {
+        "serial": recorded.is_serial_layout() if recorded.executions else None,
+        "llsr": is_llsr(system) if stacky else None,
+        "opsr": is_opsr(system, recorded.executions)
+        if recorded.executions
+        else None,
+        "scc": is_scc(system) if stacky else None,
+        "fcc": is_fcc(system) if forky else None,
+        "jcc": is_jcc(system) if joiny else None,
+        "comp_c": is_composite_correct(system),
+    }
+    return verdicts
+
+
+def applicable_criteria(system: CompositeSystem) -> Sequence[str]:
+    """The criterion names defined for this configuration."""
+    names = ["comp_c"]
+    if is_stack(system):
+        names.extend(["llsr", "scc"])
+    if is_fork(system):
+        names.append("fcc")
+    if is_join(system):
+        names.append("jcc")
+    return tuple(names)

@@ -1,0 +1,71 @@
+"""Stack schedules and Stack Conflict Consistency (Def. 21–22, Thm. 2).
+
+A *stack* is the multilevel-transaction configuration: ``n`` schedules
+in a single chain, the transactions of each level being exactly the
+operations of the level above.  SCC — every schedule in the stack
+individually conflict consistent — characterizes Comp-C on stacks
+(Theorem 2), which the T2 benchmark validates empirically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.system import CompositeSystem
+
+
+def is_stack(system: CompositeSystem) -> bool:
+    """Structural test for Def. 21.
+
+    The invocation graph must be a single chain and, level by level,
+    the callee's transactions must be exactly the caller's operations
+    (``T_{S_{i-1}} = O_{S_i}``).
+    """
+    return stack_chain(system) is not None
+
+
+def stack_chain(system: CompositeSystem) -> Optional[List[str]]:
+    """The stack's schedules ordered top (level ``n``) to bottom
+    (level 1), or ``None`` when the system is not a stack."""
+    levels = system.levels
+    by_level = {}
+    for name, level in levels.items():
+        if level in by_level:
+            return None  # two schedules on one level: not a chain
+        by_level[level] = name
+    chain = [by_level[level] for level in sorted(by_level, reverse=True)]
+    for caller, callee in zip(chain, chain[1:]):
+        caller_ops = set(system.schedule(caller).operations)
+        callee_txns = set(system.schedule(callee).transaction_names)
+        if caller_ops != callee_txns:
+            return None
+    # The bottom schedule must be a leaf schedule (only leaf operations).
+    bottom_ops = system.schedule(chain[-1]).operations
+    if any(system.is_transaction(op) for op in bottom_ops):
+        return None
+    return chain
+
+
+def is_scc(system: CompositeSystem) -> bool:
+    """Def. 22: every schedule of the stack is conflict consistent.
+
+    Raises ``ValueError`` when the system is not a stack — SCC is only
+    defined for stack configurations.
+    """
+    if not is_stack(system):
+        raise ValueError("SCC is only defined for stack schedules (Def. 21)")
+    return all(
+        schedule.is_conflict_consistent()
+        for schedule in system.schedules.values()
+    )
+
+
+def scc_violations(system: CompositeSystem) -> List[str]:
+    """Names of the schedules that break conflict consistency."""
+    if not is_stack(system):
+        raise ValueError("SCC is only defined for stack schedules (Def. 21)")
+    return [
+        name
+        for name, schedule in system.schedules.items()
+        if not schedule.is_conflict_consistent()
+    ]

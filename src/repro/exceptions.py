@@ -1,0 +1,78 @@
+"""Exception hierarchy for the composite-tx library.
+
+All exceptions raised by the library derive from :class:`CompositeTxError`
+so that callers can catch library failures with a single ``except`` clause
+while still distinguishing model-construction problems from checking
+problems.
+"""
+
+from __future__ import annotations
+
+
+class CompositeTxError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ModelError(CompositeTxError):
+    """A composite-system model violates a structural definition.
+
+    Raised while *constructing* schedules or composite systems, e.g. a
+    transaction assigned to two schedules (Def. 4.1), a recursive
+    invocation graph (Def. 4.6), or an order relation that is not a
+    strict partial order.
+    """
+
+
+class ScheduleAxiomError(ModelError):
+    """A schedule violates one of the output-order axioms of Def. 3.
+
+    The offending axiom is recorded in :attr:`axiom` using the paper's
+    numbering (``"1a"``, ``"1b"``, ``"1c"``, ``"2a"``, ``"2b"``, ``"3"``,
+    ``"4"``).
+    """
+
+    def __init__(self, axiom: str, message: str) -> None:
+        super().__init__(f"schedule axiom {axiom} violated: {message}")
+        self.axiom = axiom
+
+
+class CycleError(ModelError):
+    """An order relation that must be acyclic contains a cycle.
+
+    :attr:`cycle` holds one witness cycle as a list of node names,
+    ``[a, b, ..., a]``.
+    """
+
+    def __init__(self, message: str, cycle: list) -> None:
+        super().__init__(f"{message}: cycle {' -> '.join(map(str, cycle))}")
+        self.cycle = list(cycle)
+
+
+class ReductionError(CompositeTxError):
+    """The reduction engine was used inconsistently.
+
+    This signals a *usage* problem (e.g. asking for a level-3 front of an
+    order-2 system), never an incorrect execution; incorrect executions
+    are reported through :class:`repro.core.correctness.CorrectnessReport`.
+    """
+
+
+class SimulationError(CompositeTxError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class WorkloadError(CompositeTxError):
+    """A workload generator received unsatisfiable parameters."""
+
+
+class ParseError(CompositeTxError):
+    """The text format parser rejected its input.
+
+    :attr:`line` is the 1-based line number of the offending line when
+    known, otherwise ``None``.
+    """
+
+    def __init__(self, message: str, line: "int | None" = None) -> None:
+        location = f" (line {line})" if line is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line = line

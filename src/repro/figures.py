@@ -1,0 +1,178 @@
+"""Reference reconstructions of the paper's worked figures.
+
+The paper illustrates its machinery with four figures.  Their images are
+prose-described rather than tabulated, so this module reconstructs each
+as a concrete composite execution exhibiting exactly the phenomenon the
+text walks through:
+
+* :func:`figure1_system` — the example *configuration*: five schedules
+  at levels 1–3, roots of different heights, and transactions that share
+  no schedule (the paper's ``T4``/``T5`` observation).
+* :func:`figure2_system` — conflict and observed order: a conflict
+  between leaves of a shared bottom schedule is pulled up two levels and
+  incrementally relates root transactions that share no schedule.
+* :func:`figure3_system` — the *incorrect* execution: two composite
+  transactions interfere through two different mid-level schedules in
+  opposite directions; the reduction builds the level-2 front but cannot
+  isolate ``T1`` at the final step.
+* :func:`figure4_system` — the *correct* execution: the same
+  interference pattern, but the two roots belong to one top schedule
+  that declares their subtransactions non-conflicting, so the pulled-up
+  orders are **forgotten** (§3.7) and the reduction completes.
+
+Each function returns a freshly built
+:class:`repro.core.system.CompositeSystem`.
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import SystemBuilder
+from repro.core.system import CompositeSystem
+
+
+def figure1_system() -> CompositeSystem:
+    """The Figure-1 example configuration (a correct execution).
+
+    Levels: ``SD``/``SE`` = 1, ``SB``/``SC`` = 2, ``SA`` = 3.  Roots:
+    ``T1, T2`` (on SA), ``T3`` (on SC), ``T4`` (on SB), ``T5`` (on SD) —
+    composite transactions of different heights; ``T3`` and ``T5`` share
+    no schedule yet become related through the observed order.
+    """
+    b = SystemBuilder()
+    # Level 3 schedule SA: roots T1, T2.
+    b.transaction("T1", "SA", ["x1", "b1"])
+    b.transaction("T2", "SA", ["b2"])
+    b.conflict("SA", "b1", "b2")
+    b.executed("SA", ["x1", "b1", "b2"])
+    # Level 2 schedule SB: subtransactions of T1/T2 plus the root T4.
+    b.transaction("b1", "SB", ["d1", "e1"])
+    b.transaction("b2", "SB", ["e2"])
+    b.transaction("T4", "SB", ["d4"])
+    b.conflict("SB", "d1", "d4")
+    b.conflict("SB", "e1", "e2")
+    b.executed("SB", ["d1", "e1", "e2", "d4"])
+    # Level 2 schedule SC: the root T3.
+    b.transaction("T3", "SC", ["e3"])
+    b.executed("SC", ["e3"])
+    # Level 1 schedule SD: invoked by SB, also hosts the root T5.
+    b.transaction("d1", "SD", ["p1", "p2"])
+    b.transaction("d4", "SD", ["p3"])
+    b.transaction("T5", "SD", ["p4"])
+    b.conflict("SD", "p2", "p3")
+    b.conflict("SD", "p3", "p4")
+    b.executed("SD", ["p1", "p2", "p3", "p4"])
+    # Level 1 schedule SE: shared by SB and SC.
+    b.transaction("e1", "SE", ["q1"])
+    b.transaction("e2", "SE", ["q2"])
+    b.transaction("e3", "SE", ["q3"])
+    b.conflict("SE", "q1", "q2")
+    b.conflict("SE", "q2", "q3")
+    b.executed("SE", ["q1", "q2", "q3"])
+    return b.build()
+
+
+def figure2_system() -> CompositeSystem:
+    """The Figure-2 illustration: leaves ``o13`` and ``o25`` conflict on
+    the shared bottom schedule ``S4``; the observed order and the
+    generalized conflict climb the two execution trees and relate the
+    roots ``T1`` and ``T2`` (and transitively ``T1`` and ``T3``)."""
+    b = SystemBuilder()
+    # Top schedule S1 hosts the three roots.
+    b.transaction("T1", "S1", ["t11"])
+    b.transaction("T2", "S1", ["t21"])
+    b.transaction("T3", "S1", ["t31"])
+    b.conflict("S1", "t11", "t21")
+    b.conflict("S1", "t21", "t31")
+    b.executed("S1", ["t11", "t21", "t31"])
+    # Mid schedules S2 and S3.
+    b.transaction("t11", "S2", ["v1"])
+    b.transaction("t21", "S3", ["v2"])
+    b.transaction("t31", "S3", ["v3"])
+    b.executed("S2", ["v1"])
+    b.conflict("S3", "v2", "v3")
+    b.executed("S3", ["v2", "v3"])
+    # Shared bottom schedule S4.
+    b.transaction("v1", "S4", ["o13"])
+    b.transaction("v2", "S4", ["o25"])
+    b.transaction("v3", "S4", ["o35"])
+    b.conflict("S4", "o13", "o25")
+    b.executed("S4", ["o13", "o25", "o35"])
+    return b.build()
+
+
+def _cross_interference(top_split: bool) -> SystemBuilder:
+    """The shared skeleton of Figures 3 and 4: roots ``T1 = {p, q}`` and
+    ``T2 = {r, s}``; ``p, r`` meet on mid-schedule ``SP`` (serialized
+    ``p`` before ``r``) and ``q, s`` meet on mid-schedule ``SQ``
+    (serialized ``s`` before ``q``) — opposite directions.
+
+    With ``top_split`` the roots live on different top schedules, so no
+    schedule can vouch for commutativity and the crossed observed orders
+    survive to the root step (Figure 3).  Without it both roots live on
+    one top schedule ``SA`` that declares no conflicts among
+    ``p, q, r, s``, so the pulled-up orders are forgotten (Figure 4).
+    """
+    b = SystemBuilder()
+    if top_split:
+        b.transaction("T1", "SA", ["p", "q"])
+        b.transaction("T2", "SB", ["r", "s"])
+        b.executed("SA", ["p", "q"])
+        b.executed("SB", ["r", "s"])
+    else:
+        b.transaction("T1", "SA", ["p", "q"])
+        b.transaction("T2", "SA", ["r", "s"])
+        b.executed("SA", ["p", "r", "s", "q"])
+    # Mid schedule SP executes p's and r's work via bottom schedule SC.
+    b.transaction("p", "SP", ["c1"])
+    b.transaction("r", "SP", ["c2"])
+    b.conflict("SP", "c1", "c2")
+    b.executed("SP", ["c1", "c2"])
+    # Mid schedule SQ executes q's and s's work via bottom schedule SD.
+    b.transaction("q", "SQ", ["d1"])
+    b.transaction("s", "SQ", ["d2"])
+    b.conflict("SQ", "d1", "d2")
+    b.executed("SQ", ["d2", "d1"])
+    # Bottom schedules: the actual conflicting leaf accesses.
+    b.transaction("c1", "SC", ["x1"])
+    b.transaction("c2", "SC", ["x2"])
+    b.conflict("SC", "x1", "x2")
+    b.executed("SC", ["x1", "x2"])
+    b.transaction("d1", "SD", ["y1"])
+    b.transaction("d2", "SD", ["y2"])
+    b.conflict("SD", "y1", "y2")
+    b.executed("SD", ["y2", "y1"])
+    return b
+
+
+def figure3_system() -> CompositeSystem:
+    """The Figure-3 *incorrect* execution (see module docstring).
+
+    The reduction builds the level-1 and level-2 fronts — the crossed
+    dependencies ``p <_o r`` and ``s <_o q`` are pulled up pessimistically
+    because each pair originates on different top schedules — and then
+    fails: isolating ``T1`` would need ``T1`` both before and after
+    ``T2``.
+    """
+    return _cross_interference(top_split=True).build()
+
+
+def figure4_system() -> CompositeSystem:
+    """The Figure-4 *correct* execution (see module docstring).
+
+    Identical leaf-level behaviour to Figure 3, but both roots are
+    transactions of one top schedule that declares their operations
+    non-conflicting, so the crossed orders are forgotten at the meeting
+    point and the reduction completes to a serial front.
+    """
+    return _cross_interference(top_split=False).build()
+
+
+def figure3_strict_variant() -> CompositeSystem:
+    """Figure 4's configuration with the commutativity claim *removed*
+    (the top schedule declares the subtransaction conflicts).  Used by
+    tests to show the forgetting rule is exactly what separates the two
+    verdicts."""
+    b = _cross_interference(top_split=False)
+    b.conflict("SA", "p", "r")
+    b.conflict("SA", "s", "q")
+    return b.build()

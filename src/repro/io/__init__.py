@@ -1,0 +1,15 @@
+"""Persistence: JSON text format for composite executions and traces."""
+
+from repro.io.text_format import dumps, load, loads, save, system_to_spec
+from repro.io.trace import dumps_trace, save_trace, trace_to_dict
+
+__all__ = [
+    "dumps",
+    "load",
+    "loads",
+    "save",
+    "system_to_spec",
+    "dumps_trace",
+    "save_trace",
+    "trace_to_dict",
+]

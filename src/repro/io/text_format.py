@@ -1,0 +1,92 @@
+"""Save/load composite executions as JSON documents.
+
+The on-disk shape is the nested-dict *spec* that
+:meth:`repro.core.builder.SystemBuilder.from_spec` consumes, extended
+with a top-level ``executions`` section for temporal layouts.  Orders
+are stored explicitly (not as ``executed`` sequences) so a round trip
+reproduces the exact committed relations of the original system.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.builder import SystemBuilder
+from repro.core.system import CompositeSystem
+from repro.criteria.registry import RecordedExecution
+from repro.exceptions import ParseError
+
+FORMAT_VERSION = 1
+
+
+def system_to_spec(system: CompositeSystem) -> Dict:
+    """Extract the builder spec of an existing system."""
+    schedules: Dict[str, Dict] = {}
+    for name, schedule in system.schedules.items():
+        transactions = {}
+        for tname, txn in schedule.transactions.items():
+            transactions[tname] = {
+                "ops": list(txn.operations),
+                "weak": [list(p) for p in txn.weak_order.pairs()],
+                "strong": [list(p) for p in txn.strong_order.pairs()],
+            }
+        schedules[name] = {
+            "transactions": transactions,
+            "conflicts": sorted(sorted(pair) for pair in schedule.conflicts),
+            "weak_output": [list(p) for p in schedule.weak_output.pairs()],
+            "strong_output": [list(p) for p in schedule.strong_output.pairs()],
+            "weak_input": [list(p) for p in schedule.weak_input.pairs()],
+            "strong_input": [list(p) for p in schedule.strong_input.pairs()],
+        }
+    return {"version": FORMAT_VERSION, "schedules": schedules}
+
+
+def dumps(
+    recorded: Union[RecordedExecution, CompositeSystem], *, indent: int = 2
+) -> str:
+    """Serialize a system or recorded execution to JSON text."""
+    if isinstance(recorded, CompositeSystem):
+        document = system_to_spec(recorded)
+    else:
+        document = system_to_spec(recorded.system)
+        document["executions"] = {
+            name: list(seq) for name, seq in recorded.executions.items()
+        }
+    return json.dumps(document, indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> RecordedExecution:
+    """Parse JSON text back into a recorded execution.
+
+    Systems saved without an ``executions`` section come back with an
+    empty execution map.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise ParseError(f"invalid JSON: {err}", line=err.lineno) from None
+    if not isinstance(document, dict) or "schedules" not in document:
+        raise ParseError("document has no 'schedules' section")
+    version = document.get("version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ParseError(f"unsupported format version {version}")
+    builder = SystemBuilder.from_spec(document)
+    system = builder.build()
+    executions = {
+        name: list(seq)
+        for name, seq in document.get("executions", {}).items()
+    }
+    return RecordedExecution(system=system, executions=executions)
+
+
+def save(
+    recorded: Union[RecordedExecution, CompositeSystem],
+    path: Union[str, Path],
+) -> None:
+    Path(path).write_text(dumps(recorded))
+
+
+def load(path: Union[str, Path]) -> RecordedExecution:
+    return loads(Path(path).read_text())

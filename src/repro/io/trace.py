@@ -1,0 +1,62 @@
+"""Machine-readable reduction traces.
+
+Serializes a :class:`repro.core.reduction.ReductionResult` — every
+front's nodes and relations, the per-level witness sequences, and the
+failure certificate when rejected — as a JSON document.  Useful for
+debugging checker verdicts offline, for diffing two runs, and as input
+to external visualizers.  Exposed on the CLI as ``check --trace``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.front import Front
+from repro.core.reduction import ReductionResult
+
+TRACE_VERSION = 1
+
+
+def _front_to_dict(front: Front) -> Dict:
+    return {
+        "level": front.level,
+        "nodes": list(front.nodes),
+        "observed": [list(p) for p in front.observed.pairs()],
+        "input_weak": [list(p) for p in front.input_weak.pairs()],
+        "input_strong": [list(p) for p in front.input_strong.pairs()],
+        "conflict_consistent": front.is_conflict_consistent(),
+    }
+
+
+def trace_to_dict(result: ReductionResult) -> Dict:
+    """The full reduction trace as a plain dictionary."""
+    document: Dict = {
+        "version": TRACE_VERSION,
+        "order": result.system.order,
+        "roots": list(result.system.roots),
+        "succeeded": result.succeeded,
+        "fronts": [_front_to_dict(front) for front in result.fronts],
+        "witnesses": [list(w) for w in result.witnesses],
+    }
+    if result.succeeded:
+        document["serial_witness"] = result.serial_order()
+    else:
+        failure = result.failure
+        document["failure"] = {
+            "level": failure.level,
+            "stage": failure.stage,
+            "cycle": list(failure.cycle),
+            "blocked": list(failure.blocked),
+            "description": failure.describe(),
+        }
+    return document
+
+
+def dumps_trace(result: ReductionResult, *, indent: int = 2) -> str:
+    return json.dumps(trace_to_dict(result), indent=indent, sort_keys=True)
+
+
+def save_trace(result: ReductionResult, path: Union[str, Path]) -> None:
+    Path(path).write_text(dumps_trace(result))

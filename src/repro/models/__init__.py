@@ -1,0 +1,44 @@
+"""Transaction models expressed in the composite framework.
+
+§4 of the paper: "the stack, fork and join can be used to model a
+variety of transaction models like federated transactions, the ticket
+method for federated transaction management, sagas and distributed
+transactions.  The results in this paper show that Comp-C is a
+framework where all these models can be understood and compared."
+
+This package makes that concrete: declarative builders that express
+each classical model as a composite system, so one checker judges them
+all.
+"""
+
+from repro.models.distributed import (
+    BranchWork,
+    GlobalTransaction,
+    build_distributed_system,
+)
+from repro.models.federated import (
+    GlobalWork,
+    LocalWork,
+    build_federated_system,
+    with_tickets,
+)
+from repro.models.saga import (
+    Saga,
+    SagaStep,
+    build_saga_system,
+    flat_equivalent_is_serializable,
+)
+
+__all__ = [
+    "BranchWork",
+    "GlobalTransaction",
+    "build_distributed_system",
+    "GlobalWork",
+    "LocalWork",
+    "build_federated_system",
+    "with_tickets",
+    "Saga",
+    "SagaStep",
+    "build_saga_system",
+    "flat_equivalent_is_serializable",
+]

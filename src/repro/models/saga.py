@@ -1,0 +1,157 @@
+"""Sagas as composite transactions.
+
+A *saga* [GGKKS87-style, cited via the paper's §4 discussion] is a long-
+lived transaction split into steps that each commit independently; the
+application accepts interleavings between steps of different sagas and
+relies on compensation instead of isolation.
+
+In composite terms a saga is a root transaction whose steps are
+subtransactions of a database component, where the *saga layer declares
+the steps of different sagas non-conflicting* — the application
+semantics vouch that step-level interleavings commute.  The composite
+theory then accepts exactly the executions saga semantics accepts:
+every step individually isolated at the database, any step interleaving
+across sagas — executions that flat serializability (and LLSR) reject.
+
+A *compensated* saga runs some prefix of its steps followed by the
+matching compensation steps in reverse order; at the database each
+compensation is one more subtransaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.builder import SystemBuilder
+from repro.core.system import CompositeSystem
+from repro.exceptions import ModelError
+
+
+@dataclass
+class SagaStep:
+    """One step: its accesses and (optionally) its compensation's."""
+
+    name: str
+    accesses: Tuple[Tuple[str, str], ...]  # (item, mode)
+    compensation: Tuple[Tuple[str, str], ...] = ()
+
+
+@dataclass
+class Saga:
+    """An ordered list of steps, optionally aborted after a prefix."""
+
+    name: str
+    steps: List[SagaStep] = field(default_factory=list)
+    abort_after: Optional[int] = None  # run this many steps, then compensate
+
+    def step(
+        self,
+        name: str,
+        *accesses: Tuple[str, str],
+        compensation: Sequence[Tuple[str, str]] = (),
+    ) -> "Saga":
+        self.steps.append(
+            SagaStep(name, tuple(accesses), tuple(compensation))
+        )
+        return self
+
+    def executed_steps(self) -> List[Tuple[str, Tuple[Tuple[str, str], ...]]]:
+        """The (step-transaction name, accesses) list this saga actually
+        runs: all steps, or a prefix plus reversed compensations."""
+        if self.abort_after is None:
+            return [(f"{self.name}.{s.name}", s.accesses) for s in self.steps]
+        if not 0 <= self.abort_after <= len(self.steps):
+            raise ModelError(
+                f"saga {self.name!r}: abort_after out of range"
+            )
+        ran = self.steps[: self.abort_after]
+        out = [(f"{self.name}.{s.name}", s.accesses) for s in ran]
+        for s in reversed(ran):
+            if s.compensation:
+                out.append((f"{self.name}.undo_{s.name}", s.compensation))
+        return out
+
+
+def build_saga_system(
+    sagas: Sequence[Saga],
+    interleaving: Sequence[str],
+    *,
+    database: str = "DB",
+    saga_layer: str = "SagaLayer",
+    validate: bool = True,
+) -> CompositeSystem:
+    """Assemble the two-level saga composite.
+
+    ``interleaving`` is the order in which *steps* hit the database,
+    given as step-transaction names (``"S1.reserve"``); each step's
+    accesses execute contiguously (steps are the atomic units).
+    """
+    builder = SystemBuilder()
+    step_ops: Dict[str, List[str]] = {}
+    access_info: List[Tuple[str, str, str, str]] = []  # op, item, mode, step
+    op_counter = 0
+    for saga in sagas:
+        names = []
+        for step_name, accesses in saga.executed_steps():
+            names.append(step_name)
+            ops = []
+            for item, mode in accesses:
+                op_counter += 1
+                op = f"{step_name}.{mode}{op_counter}[{item}]"
+                ops.append(op)
+                access_info.append((op, item, mode, step_name))
+            builder.transaction(step_name, database, ops, sequential=False)
+            step_ops[step_name] = ops
+        builder.transaction(saga.name, saga_layer, names)
+    # The saga layer orders each saga's own steps (program order) but
+    # declares steps of different sagas non-conflicting: no conflicts at
+    # the saga layer at all.
+    layer_sequence: List[str] = []
+    for step in interleaving:
+        if step not in step_ops:
+            raise ModelError(f"unknown step {step!r} in the interleaving")
+        layer_sequence.append(step)
+    if set(layer_sequence) != set(step_ops):
+        raise ModelError("interleaving must mention every executed step once")
+    builder.executed(saga_layer, layer_sequence)
+
+    # Database: steps are atomic (each step's accesses contiguous);
+    # read/write conflicts on shared items.
+    db_sequence = [op for step in layer_sequence for op in step_ops[step]]
+    for i, (op_a, item_a, mode_a, step_a) in enumerate(access_info):
+        for op_b, item_b, mode_b, step_b in access_info[i + 1:]:
+            if step_a == step_b:
+                continue
+            if item_a == item_b and "w" in (mode_a, mode_b):
+                builder.conflict(database, op_a, op_b)
+    builder.executed(database, db_sequence)
+    return builder.build(validate=validate)
+
+
+def flat_equivalent_is_serializable(
+    sagas: Sequence[Saga], interleaving: Sequence[str]
+) -> bool:
+    """Judge the same execution as *flat* transactions (each saga one
+    monolithic transaction at the database) — the baseline sagas were
+    invented to escape.  Returns classical CSR of the step-serialization
+    graph at saga granularity."""
+    from repro.core.orders import Relation
+
+    owner: Dict[str, Tuple[str, Tuple[Tuple[str, str], ...]]] = {}
+    saga_of: Dict[str, str] = {}
+    for saga in sagas:
+        for step_name, accesses in saga.executed_steps():
+            owner[step_name] = (saga.name, accesses)
+            saga_of[step_name] = saga.name
+    graph = Relation(elements=[s.name for s in sagas])
+    flattened: List[Tuple[str, str, str]] = []  # saga, item, mode
+    for step in interleaving:
+        saga_name, accesses = owner[step]
+        for item, mode in accesses:
+            flattened.append((saga_name, item, mode))
+    for i, (sa, item_a, mode_a) in enumerate(flattened):
+        for sb, item_b, mode_b in flattened[i + 1:]:
+            if sa != sb and item_a == item_b and "w" in (mode_a, mode_b):
+                graph.add(sa, sb)
+    return graph.is_acyclic()

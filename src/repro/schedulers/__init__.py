@@ -1,0 +1,55 @@
+"""Per-component concurrency-control protocols.
+
+Every component of a composite system runs its own scheduler (the
+paper's architectural premise).  This package ships four protocols with
+one uniform interface (:class:`repro.schedulers.base.ComponentScheduler`):
+
+================  =====================================================
+``s2pl``          strict two-phase locking, waits-for deadlock detection
+``to``            basic timestamp ordering (abort-on-late, no blocking)
+``sgt``           serialization-graph testing (optimistic, permissive)
+``cc``            CC scheduling: SGT + propagated input orders (the
+                  composite protocol of the companion papers)
+================  =====================================================
+"""
+
+from typing import Callable, Dict
+
+from repro.schedulers.base import Access, ComponentScheduler, Decision, modes_conflict
+from repro.schedulers.composite_cc import CompositeCCScheduler
+from repro.schedulers.locking import StrictTwoPhaseLocking
+from repro.schedulers.sgt import SerializationGraphTesting
+from repro.schedulers.timestamp import TimestampOrdering
+
+#: protocol id → factory, used by the simulator configuration
+PROTOCOLS: Dict[str, Callable[[str], ComponentScheduler]] = {
+    "s2pl": StrictTwoPhaseLocking,
+    "to": TimestampOrdering,
+    "sgt": SerializationGraphTesting,
+    "cc": CompositeCCScheduler,
+}
+
+
+def make_scheduler(protocol: str, name: str) -> ComponentScheduler:
+    """Instantiate a scheduler by protocol id."""
+    try:
+        factory = PROTOCOLS[protocol]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {protocol!r}; choose from {sorted(PROTOCOLS)}"
+        ) from None
+    return factory(name)
+
+
+__all__ = [
+    "Access",
+    "ComponentScheduler",
+    "Decision",
+    "modes_conflict",
+    "CompositeCCScheduler",
+    "StrictTwoPhaseLocking",
+    "SerializationGraphTesting",
+    "TimestampOrdering",
+    "PROTOCOLS",
+    "make_scheduler",
+]

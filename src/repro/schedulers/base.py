@@ -1,0 +1,143 @@
+"""Scheduler interface for per-component concurrency control.
+
+The paper's premise is that every component runs *its own* scheduler.
+This package provides online schedulers a component can plug in: strict
+two-phase locking, basic timestamp ordering, serialization-graph
+testing, and the order-propagating CC scheduler sketched in the
+companion papers.  The discrete-event simulator drives them through the
+interface defined here.
+
+Protocol model (deliberately simple and uniform):
+
+* ``begin(txn)`` — a (sub)transaction starts at this component;
+* ``request(txn, item, mode)`` — the transaction wants to read
+  (``"r"``) or write (``"w"``) a data item; the scheduler answers
+  :class:`Decision`:
+  ``GRANT`` (proceed now), ``BLOCK`` (wait; the scheduler will surface
+  the operation through :meth:`ComponentScheduler.drain_granted` once
+  unblocked) or ``ABORT`` (the transaction must abort and retry);
+* ``commit(txn)`` / ``abort(txn)`` — terminal outcomes; locks and
+  bookkeeping are released and blocked requests may become grantable;
+* ``require_order(before, after)`` — an input order the component has
+  been asked to respect (Def. 4.7 propagation; only the CC scheduler
+  uses it, the classical protocols ignore orders they never heard of).
+
+Two operations conflict iff they touch the same item and at least one
+writes — the classical read/write model (components with richer
+semantic commutativity are modelled at checking time through the
+conflict tables of Def. 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class Decision(enum.Enum):
+    """Outcome of an operation request."""
+
+    GRANT = "grant"
+    BLOCK = "block"
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class Access:
+    """A granted access, as remembered by schedulers."""
+
+    txn: str
+    item: str
+    mode: str  # "r" or "w"
+
+    def conflicts_with(self, other: "Access") -> bool:
+        return (
+            self.item == other.item
+            and self.txn != other.txn
+            and ("w" in (self.mode, other.mode))
+        )
+
+
+def modes_conflict(mode_a: str, mode_b: str) -> bool:
+    """Read/write conflict table."""
+    return "w" in (mode_a, mode_b)
+
+
+class ComponentScheduler:
+    """Base class; concrete protocols override the decision logic."""
+
+    #: short protocol identifier, e.g. "s2pl"; set by subclasses
+    protocol = "abstract"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._active: Set[str] = set()
+        self._granted_log: List[Tuple[str, str, str]] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def begin(self, txn: str) -> None:
+        self._active.add(txn)
+
+    def request(self, txn: str, item: str, mode: str) -> Decision:
+        raise NotImplementedError
+
+    def commit(self, txn: str) -> None:
+        self._active.discard(txn)
+
+    def abort(self, txn: str) -> None:
+        self._active.discard(txn)
+
+    def finish(self, txn: str, parent: "Optional[str]" = None) -> None:
+        """The (sub)transaction completed its work but its fate is still
+        tied to the composite transaction (commit comes at the root).
+
+        The engine *broadcasts* this to every component: a transaction's
+        locks may be retained at components it never visited itself
+        (inherited from its own finished children), and those retained
+        holdings must bubble up too.  ``parent`` names the transaction
+        inheriting the holdings (``None`` for a root's top transaction).
+
+        Default: ignored.  Nested locking retains the subtransaction's
+        holdings at ``parent`` here (Moss inheritance)."""
+
+    def require_order(self, before: str, after: str) -> None:
+        """An input order (Def. 4.7).  Default: ignored — classical
+        protocols serialize by their own rules only."""
+
+    def set_origin(self, txn: str, origin: str) -> None:
+        """Tag a local transaction with its composite transaction (root).
+
+        Default: ignored.  Protocols that reason at composite
+        granularity (root-owned locks in S2PL) override this."""
+
+    def set_path(self, txn: str, path: Tuple[str, ...]) -> None:
+        """Tag a local transaction with its full ancestor chain (root's
+        top transaction down to ``txn``).
+
+        Default: ignored.  The CC scheduler uses paths to order
+        composite work at the *divergence point* — the online analogue
+        of pulling the observed order up to where two execution trees
+        meet (Def. 10)."""
+
+    # ------------------------------------------------------------------
+    # unblocking
+    # ------------------------------------------------------------------
+    def drain_granted(self) -> List[Tuple[str, str, str]]:
+        """Blocked requests that became grantable since the last call,
+        as ``(txn, item, mode)`` triples in grant order."""
+        granted, self._granted_log = self._granted_log, []
+        return granted
+
+    def _grant_later(self, txn: str, item: str, mode: str) -> None:
+        self._granted_log.append((txn, item, mode))
+
+    # ------------------------------------------------------------------
+    @property
+    def active_transactions(self) -> Set[str]:
+        return set(self._active)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

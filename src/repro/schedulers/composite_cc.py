@@ -1,0 +1,239 @@
+"""CC scheduling: the order-propagating composite protocol.
+
+The companion papers [ABFS97, AFPS99] sketch *CC scheduling*: each
+component guarantees its own conflict consistency — serializability that
+additionally respects the weak/strong input orders handed down by its
+callers (Def. 4.7) — and propagates the orders it produces to the
+components it invokes.  Per-component CC suffices for stacks and forks
+(Theorems 2–3), but a *join* can hide a cycle in the ghost graph
+(Def. 26): two clients' subtransactions serialized in opposite
+directions at a shared server, invisible to every individual scheduler.
+The practical remedy the paper's §4 points at is the **ticket method**
+for federated transaction management: a shared registry fixes one
+serialization order over composite transactions, and every component
+refuses accesses that would contradict it.
+
+So the scheduler here is serialization-graph testing with two additions:
+
+* **required input orders** (Def. 4.7 plumbing from callers) are extra
+  graph edges;
+* an optional :class:`RootOrderRegistry`, shared by all CC schedulers of
+  one system, tracks the order between *composite transactions*
+  (origins) implied by every granted conflicting access and refuses
+  accesses that would invert an established cross-root order — the
+  conservative guarantee that makes every committed execution Comp-C in
+  arbitrary configurations (re-checked by the P1 benchmark).
+
+The registry ignores the forgetting rule (it cannot know which ancestor
+schedules would vouch for commutativity), so it is deliberately more
+conservative than Comp-C itself — safety at the cost of some aborts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.orders import Relation
+from repro.schedulers.base import Access, ComponentScheduler, Decision
+
+
+class RootOrderRegistry:
+    """A shared serialization order over composite transactions.
+
+    Edges are tagged with the local transactions whose accesses induced
+    them, so an abort can retract exactly its own evidence (otherwise a
+    retry could livelock against its own ghost)."""
+
+    def __init__(self) -> None:
+        # edge -> set of evidence pairs; an evidence pair is the frozenset
+        # of the two local transactions whose conflicting accesses induced
+        # the edge.  The edge stands while at least one evidence pair has
+        # both witnesses alive.
+        self._edges: Dict[Tuple[str, str], Set[frozenset]] = {}
+        self._relation = Relation()
+
+    def try_order(
+        self, before: str, after: str, tag: str, witness: str = ""
+    ) -> bool:
+        """Record ``before < after``; refuse if the opposite order is
+        already established (directly or transitively).  ``tag`` is the
+        requesting local transaction, ``witness`` the earlier one —
+        either aborting retracts this piece of evidence."""
+        if before == after:
+            return True
+        if self._relation.reaches(after, before):
+            return False
+        evidence = frozenset((tag, witness)) if witness else frozenset((tag,))
+        self._edges.setdefault((before, after), set()).add(evidence)
+        self._relation.add(before, after)
+        return True
+
+    def purge_tag(self, tag: str) -> None:
+        """Retract every piece of evidence involving ``tag`` (an aborted
+        local transaction); edges without remaining evidence disappear."""
+        changed = False
+        for edge, evidences in list(self._edges.items()):
+            kept = {e for e in evidences if tag not in e}
+            if kept != evidences:
+                if kept:
+                    self._edges[edge] = kept
+                else:
+                    del self._edges[edge]
+                changed = True
+        if changed:
+            self._relation = Relation(self._edges.keys())
+
+    def order(self) -> Relation:
+        return self._relation.copy()
+
+
+class CompositeCCScheduler(ComponentScheduler):
+    """Order-preserving SGT: conflict edges ∪ required input orders,
+    plus cross-root consistency through a shared registry."""
+
+    protocol = "cc"
+
+    def __init__(
+        self, name: str, registry: Optional[RootOrderRegistry] = None
+    ) -> None:
+        super().__init__(name)
+        self._accesses: List[Access] = []
+        self._required = Relation()  # input orders (Def. 4.7)
+        self._conflict_edges = Relation()
+        self._committed: set = set()
+        self._registry = registry
+        self._origin: Dict[str, str] = {}
+        # Ancestor chains: txn -> (root top txn, ..., txn).  Conflicts
+        # between two local transactions are registered at the pair's
+        # *divergence point* — the first ancestors at which their chains
+        # differ — which generalizes root-granularity ordering to
+        # parallel subtransactions of one composite transaction.
+        self._path: Dict[str, Tuple[str, ...]] = {}
+        # Item access log for order registration.  Unlike ``_accesses``
+        # this is *not* garbage collected with committed transactions:
+        # an access conflicting with long-committed work still orders
+        # the composite units and must be registered.  Entries are
+        # removed only when their transaction aborts.
+        self._item_log: Dict[str, List[Tuple[Tuple[str, ...], str, str]]] = {}
+
+    # ------------------------------------------------------------------
+    def attach_registry(self, registry: RootOrderRegistry) -> None:
+        self._registry = registry
+
+    def set_origin(self, txn: str, origin: str) -> None:
+        """Tag a local transaction with its composite transaction."""
+        self._origin[txn] = origin
+
+    def set_path(self, txn: str, path: Tuple[str, ...]) -> None:
+        """Tag a local transaction with its ancestor chain."""
+        self._path[txn] = tuple(path)
+
+    def require_order(self, before: str, after: str) -> None:
+        self._required.add(before, after)
+
+    def request(self, txn: str, item: str, mode: str) -> Decision:
+        access = Access(txn, item, mode)
+        new_edges: List[Tuple[str, str]] = []
+        for earlier in self._accesses:
+            if earlier.conflicts_with(access):
+                # The access would serialize `earlier` before `txn`; if a
+                # required or established order says the opposite, refuse.
+                new_edges.append((earlier.txn, txn))
+        probe = self._conflict_edges.copy().union(self._required)
+        for a, b in new_edges:
+            probe.add(a, b)
+        if probe.reaches(txn, txn):
+            return Decision.ABORT
+        if self._registry is not None and not self._register_units(
+            txn, item, mode
+        ):
+            return Decision.ABORT
+        self._conflict_edges.add_all(new_edges)
+        self._accesses.append(access)
+        self._item_log.setdefault(item, []).append(
+            (self._path.get(txn, (txn,)), mode, txn)
+        )
+        return Decision.GRANT
+
+    @staticmethod
+    def _divergence(
+        path_a: Tuple[str, ...], path_b: Tuple[str, ...]
+    ) -> Optional[Tuple[str, str]]:
+        """The first differing ancestors of two chains, or ``None`` when
+        one chain prefixes the other (structurally sequential work —
+        a transaction never runs concurrently with its own ancestors)."""
+        for a, b in zip(path_a, path_b):
+            if a != b:
+                return (a, b)
+        return None
+
+    def _register_units(self, txn: str, item: str, mode: str) -> bool:
+        path = self._path.get(txn)
+        if path is None:
+            return True
+        for earlier_path, earlier_mode, earlier_txn in self._item_log.get(
+            item, ()
+        ):
+            if "w" not in (mode, earlier_mode):
+                continue
+            units = self._divergence(earlier_path, path)
+            if units is None:
+                continue  # same unit chain: ordered by program structure
+            if not self._registry.try_order(
+                units[0], units[1], tag=txn, witness=earlier_txn
+            ):
+                return False
+        return True
+
+    def commit(self, txn: str) -> None:
+        super().commit(txn)
+        self._committed.add(txn)
+        self._collect_garbage()
+
+    def abort(self, txn: str) -> None:
+        super().abort(txn)
+        self._accesses = [a for a in self._accesses if a.txn != txn]
+        self._conflict_edges = self._rebuild()
+        if self._registry is not None:
+            self._registry.purge_tag(txn)
+        for entries in self._item_log.values():
+            entries[:] = [e for e in entries if e[2] != txn]
+        self._origin.pop(txn, None)
+        self._path.pop(txn, None)
+        # Required orders about an aborted transaction stay: the caller
+        # will re-issue them (or not) with the retry.
+
+    # ------------------------------------------------------------------
+    def committed_order(self) -> Relation:
+        """The serialization-plus-required order over seen transactions —
+        what this component reports upward/downward (Def. 4.7)."""
+        return self._conflict_edges.copy().union(self._required)
+
+    def _rebuild(self) -> Relation:
+        graph = Relation()
+        for i, earlier in enumerate(self._accesses):
+            for later in self._accesses[i + 1:]:
+                if earlier.conflicts_with(later):
+                    graph.add(earlier.txn, later.txn)
+        return graph
+
+    def _collect_garbage(self) -> None:
+        live = self._active
+        combined = self._conflict_edges.copy().union(self._required)
+        removable = {
+            txn
+            for txn in self._committed
+            if txn not in live
+            and not any(combined.reaches(other, txn) for other in live)
+        }
+        if removable:
+            self._accesses = [
+                a for a in self._accesses if a.txn not in removable
+            ]
+            self._committed -= removable
+            self._conflict_edges = self._rebuild()
+            kept = Relation()
+            for a, b in self._required.pairs():
+                if a not in removable and b not in removable:
+                    kept.add(a, b)
+            self._required = kept

@@ -1,0 +1,90 @@
+"""Serialization-graph testing (SGT).
+
+The optimistic aggressive protocol: every granted access records
+conflict edges into a serialization graph over live (and recently
+committed) transactions; a request that would close a cycle is aborted.
+No blocking, no timestamps — the accepted executions are exactly the
+conflict-serializable prefixes, which makes SGT the most permissive of
+the classical protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.orders import Relation
+from repro.schedulers.base import Access, ComponentScheduler, Decision
+
+
+class SerializationGraphTesting(ComponentScheduler):
+    """SGT with committed-node retention.
+
+    Committed transactions stay in the graph while they still have
+    incoming paths from live ones (forgetting them too early would
+    admit non-serializable executions); they are garbage collected once
+    every live transaction started after their commit.
+    """
+
+    protocol = "sgt"
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._graph = Relation()
+        self._accesses: List[Access] = []
+        self._committed: Set[str] = set()
+
+    def request(self, txn: str, item: str, mode: str) -> Decision:
+        access = Access(txn, item, mode)
+        new_edges: List[Tuple[str, str]] = []
+        for earlier in self._accesses:
+            if earlier.conflicts_with(access):
+                new_edges.append((earlier.txn, txn))
+        probe = self._graph.copy()
+        for a, b in new_edges:
+            probe.add(a, b)
+        if probe.reaches(txn, txn):
+            return Decision.ABORT
+        self._graph = probe
+        self._accesses.append(access)
+        return Decision.GRANT
+
+    def commit(self, txn: str) -> None:
+        super().commit(txn)
+        self._committed.add(txn)
+        self._collect_garbage()
+
+    def abort(self, txn: str) -> None:
+        super().abort(txn)
+        self._accesses = [a for a in self._accesses if a.txn != txn]
+        self._graph = self._rebuild_graph()
+
+    def _rebuild_graph(self) -> Relation:
+        graph = Relation()
+        for i, earlier in enumerate(self._accesses):
+            for later in self._accesses[i + 1:]:
+                if earlier.conflicts_with(later):
+                    graph.add(earlier.txn, later.txn)
+        return graph
+
+    def _collect_garbage(self) -> None:
+        # A committed transaction with no live predecessors can never be
+        # part of a future cycle: drop its accesses.
+        live = self._active
+        removable = {
+            txn
+            for txn in self._committed
+            if not any(
+                self._graph.reaches(other, txn) for other in live
+            )
+            and txn not in live
+        }
+        if removable:
+            self._accesses = [
+                a for a in self._accesses if a.txn not in removable
+            ]
+            self._committed -= removable
+            self._graph = self._rebuild_graph()
+
+    def serialization_graph(self) -> Relation:
+        """The current graph (diagnostics/tests)."""
+        return self._graph.copy()

@@ -1,0 +1,72 @@
+"""Basic timestamp ordering (TO).
+
+Each transaction receives a timestamp at ``begin``; reads and writes are
+validated against per-item read/write timestamps and *rejected* (abort,
+never block) when they arrive too late — the classical deadlock-free
+protocol.  An optional Thomas write rule silently skips obsolete writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.schedulers.base import ComponentScheduler, Decision
+
+
+@dataclass
+class _ItemStamps:
+    read_ts: int = -1
+    write_ts: int = -1
+    readers: Set[str] = field(default_factory=set)
+    writer: str = ""
+
+
+class TimestampOrdering(ComponentScheduler):
+    """Basic TO with optional Thomas write rule."""
+
+    protocol = "to"
+
+    def __init__(self, name: str, *, thomas_write_rule: bool = False) -> None:
+        super().__init__(name)
+        self.thomas_write_rule = thomas_write_rule
+        self._clock = 0
+        self._ts: Dict[str, int] = {}
+        self._items: Dict[str, _ItemStamps] = {}
+
+    def begin(self, txn: str) -> None:
+        super().begin(txn)
+        if txn not in self._ts:
+            self._clock += 1
+            self._ts[txn] = self._clock
+
+    def timestamp_of(self, txn: str) -> int:
+        return self._ts[txn]
+
+    def request(self, txn: str, item: str, mode: str) -> Decision:
+        ts = self._ts[txn]
+        state = self._items.setdefault(item, _ItemStamps())
+        if mode == "r":
+            if ts < state.write_ts:
+                return Decision.ABORT  # reads a value it must not see
+            state.read_ts = max(state.read_ts, ts)
+            state.readers.add(txn)
+            return Decision.GRANT
+        # write
+        if ts < state.read_ts:
+            return Decision.ABORT  # a younger transaction already read
+        if ts < state.write_ts:
+            if self.thomas_write_rule:
+                return Decision.GRANT  # obsolete write, skip silently
+            return Decision.ABORT
+        state.write_ts = ts
+        state.writer = txn
+        return Decision.GRANT
+
+    def abort(self, txn: str) -> None:
+        super().abort(txn)
+        # Restarted transactions must obtain a fresh (larger) timestamp,
+        # otherwise they starve forever behind the stamps they lost to.
+        self._ts.pop(txn, None)
+        for state in self._items.values():
+            state.readers.discard(txn)

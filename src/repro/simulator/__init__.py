@@ -1,0 +1,50 @@
+"""Discrete-event simulator of composite transactional systems.
+
+The paper has no testbed (its prototype was "in progress"), so this
+package provides the synthetic substrate: components wired per a
+topology, each running its own concurrency-control protocol, driven by
+closed-loop clients issuing random composite transactions.  Committed
+executions are recorded as Def.-3/Def.-4 objects and fed back into the
+Comp-C checker — closing the loop between protocol dynamics and the
+theory (the P1 benchmark).
+"""
+
+from repro.simulator.engine import (
+    Simulation,
+    SimulationConfig,
+    SimulationResult,
+    simulate,
+)
+from repro.simulator.events import EventHandle, EventQueue
+from repro.simulator.metrics import Metrics
+from repro.simulator.programs import (
+    AccessStep,
+    CallStep,
+    Program,
+    ProgramConfig,
+    random_program,
+)
+from repro.simulator.recorder import AssembledRun, ExecutionRecorder
+from repro.simulator.scenarios import (
+    tp_monitor_mix,
+    tp_monitor_topology,
+)
+
+__all__ = [
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "simulate",
+    "EventHandle",
+    "EventQueue",
+    "Metrics",
+    "AccessStep",
+    "CallStep",
+    "Program",
+    "ProgramConfig",
+    "random_program",
+    "AssembledRun",
+    "ExecutionRecorder",
+    "tp_monitor_mix",
+    "tp_monitor_topology",
+]

@@ -1,0 +1,581 @@
+"""The discrete-event composite-system simulator.
+
+Closed-loop clients issue composite transactions (random
+:mod:`repro.simulator.programs` trees) against a set of components wired
+per a :class:`repro.workloads.topologies.TopologySpec`.  Every component
+runs its own scheduler (any protocol from :mod:`repro.schedulers`);
+access service times are exponential; blocked requests time out (the
+practical answer to cross-component deadlocks); aborts retry the whole
+root transaction with linear backoff.
+
+Order propagation (Def. 4.7) is performed by the engine: when a
+transaction issues a call to a component, the engine tells the callee's
+scheduler about the orders it must respect relative to earlier calls —
+program order within one caller transaction, plus whatever order the
+caller component has established between the calling transactions.  The
+classical protocols ignore this information *by design*; the CC
+scheduler consumes it.  The committed execution is recorded and
+assembled into a composite system, so the P1 benchmark can measure both
+performance (throughput/aborts) and *correctness* (Comp-C of what each
+protocol actually committed).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.core.orders import Relation
+from repro.exceptions import SimulationError
+from repro.schedulers import ComponentScheduler, make_scheduler
+from repro.schedulers.base import Decision
+from repro.schedulers.composite_cc import (
+    CompositeCCScheduler,
+    RootOrderRegistry,
+)
+from repro.simulator.events import EventHandle, EventQueue
+from repro.simulator.metrics import Metrics
+from repro.simulator.programs import (
+    AccessStep,
+    CallStep,
+    Program,
+    ProgramConfig,
+    random_program,
+)
+from repro.simulator.recorder import AssembledRun, ExecutionRecorder
+from repro.workloads.topologies import TopologySpec
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything a run needs (all times in abstract simulated units).
+
+    ``arrival`` selects the client model: ``"closed"`` (default) runs
+    ``clients`` closed-loop clients with exponential think times;
+    ``"open"`` ignores think times and injects
+    ``clients * transactions_per_client`` root transactions as a Poisson
+    stream of rate ``arrival_rate``.  ``service_times`` overrides the
+    mean access service time per component (heterogeneous components —
+    a slow disk-bound site next to a fast cache)."""
+
+    topology: TopologySpec
+    protocol: Union[str, Dict[str, str]] = "cc"
+    clients: int = 4
+    transactions_per_client: int = 10
+    program: ProgramConfig = ProgramConfig()
+    mean_service_time: float = 1.0
+    service_times: Optional[Dict[str, float]] = None
+    think_time: float = 0.5
+    deadlock_timeout: float = 60.0
+    retry_backoff: float = 3.0
+    max_attempts: int = 25
+    seed: int = 0
+    arrival: str = "closed"
+    arrival_rate: float = 1.0
+    #: attach the shared divergence-point order registry to CC
+    #: schedulers (on by default; the A2 ablation switches it off to
+    #: measure exactly what the registry buys)
+    cc_registry: bool = True
+    #: optional custom program source: ``factory(topology, home, rng) ->
+    #: Program``.  Defaults to the random generator; named scenarios
+    #: (repro.simulator.scenarios) plug in here.
+    program_factory: "Optional[Callable]" = None
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ("closed", "open"):
+            raise SimulationError(f"unknown arrival model {self.arrival!r}")
+        if self.arrival == "open" and self.arrival_rate <= 0:
+            raise SimulationError("open-loop arrival_rate must be positive")
+
+    def protocol_for(self, component: str) -> str:
+        if isinstance(self.protocol, str):
+            return self.protocol
+        return self.protocol.get(component, "cc")
+
+    def service_time_for(self, component: str) -> float:
+        if self.service_times and component in self.service_times:
+            return self.service_times[component]
+        return self.mean_service_time
+
+
+@dataclass
+class _Frame:
+    """One executing (sub)transaction in the fork-join task tree.
+
+    ``outstanding`` counts live child frames; a frame past its last step
+    completes only when it reaches zero.  ``path`` is the chain of local
+    transaction ids from the root's top transaction down to this frame —
+    the divergence information the CC registry orders by.
+    ``last_units`` holds the child ids of the most recent call segment
+    (used to seed the structural program order into the registry).
+    """
+
+    component: str
+    txn: str
+    steps: list
+    path: Tuple[str, ...] = ()
+    index: int = 0
+    outstanding: int = 0
+    parent: "Optional[_Frame]" = None
+    last_units: List[str] = field(default_factory=list)
+
+
+@dataclass
+class _Root:
+    name: str
+    client: int
+    program: Program
+    attempt: int = 0
+    top: "Optional[_Frame]" = None
+    involved: List[Tuple[str, str]] = field(default_factory=list)
+    start_time: float = 0.0
+    timeouts: Dict[Tuple[str, str], EventHandle] = field(default_factory=dict)
+    call_counter: int = 0
+    done: bool = False
+    #: bumped on every abort AND every (re)start: in-flight events from a
+    #: dead attempt must never touch the root again, even in the window
+    #: between an abort and the retry (where ``attempt`` is unchanged).
+    epoch: int = 0
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one run."""
+
+    config: SimulationConfig
+    metrics: Metrics
+    assembled: Optional[AssembledRun]
+
+    @property
+    def recorded(self):
+        return self.assembled.recorded if self.assembled else None
+
+
+class Simulation:
+    """One seeded simulation run."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.queue = EventQueue()
+        self.metrics = Metrics()
+        self.recorder = ExecutionRecorder()
+        self.schedulers: Dict[str, ComponentScheduler] = {
+            name: make_scheduler(config.protocol_for(name), name)
+            for name in config.topology.schedule_names
+        }
+        # All CC schedulers of one system share a root-order registry
+        # (the ticket service that makes cross-component serialization
+        # consistent; see repro.schedulers.composite_cc).
+        self.registry = RootOrderRegistry()
+        if config.cc_registry:
+            for scheduler in self.schedulers.values():
+                if isinstance(scheduler, CompositeCCScheduler):
+                    scheduler.attach_registry(self.registry)
+        # Engine-side order knowledge per component (Def. 4.7 plumbing).
+        self._required: Dict[str, Relation] = {
+            name: Relation() for name in config.topology.schedule_names
+        }
+        # (caller_txn, child_txn, callee, root, segment) per component,
+        # in issue order.
+        self._issued_calls: Dict[
+            str, List[Tuple[str, str, str, str, int]]
+        ] = {name: [] for name in config.topology.schedule_names}
+        self._pending_block: Dict[
+            Tuple[str, str], Tuple[_Root, _Frame, str, str]
+        ] = {}
+        self._roots: Dict[str, _Root] = {}
+        self._remaining: Dict[int, int] = {}
+        self._root_counter = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self, *, max_events: int = 2_000_000) -> SimulationResult:
+        cfg = self.config
+        if cfg.arrival == "open":
+            # Poisson arrivals: pre-schedule the whole stream (client -1
+            # is the open-loop source; completions trigger nothing).
+            self._remaining[-1] = cfg.clients * cfg.transactions_per_client
+            at = 0.0
+            for _ in range(self._remaining[-1]):
+                at += self.rng.expovariate(cfg.arrival_rate)
+                self.queue.schedule(at, lambda: self._next_root(-1))
+        else:
+            for client in range(cfg.clients):
+                self._remaining[client] = cfg.transactions_per_client
+                jitter = self.rng.random() * cfg.think_time
+                self.queue.schedule(
+                    jitter, lambda c=client: self._next_root(c)
+                )
+        fired = self.queue.run(max_events=max_events)
+        if fired >= max_events:  # pragma: no cover - runaway guard
+            raise SimulationError(
+                f"simulation exceeded {max_events} events; likely livelock"
+            )
+        self.metrics.end_time = self.queue.now
+        assembled = (
+            self.recorder.assemble()
+            if self.recorder.committed_count
+            else None
+        )
+        return SimulationResult(
+            config=cfg, metrics=self.metrics, assembled=assembled
+        )
+
+    # ------------------------------------------------------------------
+    # client loop
+    # ------------------------------------------------------------------
+    def _next_root(self, client: int) -> None:
+        if self._remaining[client] <= 0:
+            return
+        self._remaining[client] -= 1
+        self._root_counter += 1
+        name = f"R{self._root_counter}_{client}" if client >= 0 else (
+            f"R{self._root_counter}_open"
+        )
+        home = self.config.topology.root_schedules[
+            self.rng.randrange(len(self.config.topology.root_schedules))
+        ]
+        if self.config.program_factory is not None:
+            program = self.config.program_factory(
+                self.config.topology, home, self.rng
+            )
+        else:
+            program = random_program(
+                self.config.topology, home, self.config.program, self.rng
+            )
+        root = _Root(name=name, client=client, program=program)
+        self._roots[name] = root
+        self._start_attempt(root)
+
+    def _after_completion(self, client: int) -> None:
+        if client < 0:
+            return  # open-loop: arrivals are pre-scheduled
+        if self._remaining[client] > 0:
+            delay = (
+                self.rng.expovariate(1.0 / self.config.think_time)
+                if self.config.think_time > 0
+                else 0.0
+            )
+            self.queue.schedule(delay, lambda: self._next_root(client))
+
+    # ------------------------------------------------------------------
+    # attempt lifecycle
+    # ------------------------------------------------------------------
+    def _start_attempt(self, root: _Root) -> None:
+        root.attempt += 1
+        root.epoch += 1
+        root.call_counter = 0
+        root.involved = []
+        root.timeouts = {}
+        root.start_time = self.queue.now
+        self.recorder.begin_attempt(root.name)
+        top_txn = f"{root.name}a{root.attempt}"
+        root.top = _Frame(
+            root.program.component,
+            top_txn,
+            root.program.steps,
+            path=(top_txn,),
+        )
+        self._begin_transaction(root, root.program.component, top_txn, (top_txn,))
+        self._advance(root, root.top)
+
+    def _begin_transaction(
+        self,
+        root: _Root,
+        component: str,
+        txn: str,
+        path: Tuple[str, ...],
+    ) -> None:
+        scheduler = self.schedulers[component]
+        scheduler.begin(txn)
+        scheduler.set_origin(txn, root.name)
+        scheduler.set_path(txn, path)
+        root.involved.append((component, txn))
+        self.recorder.begin_transaction(root.name, txn, component)
+
+    def _advance(self, root: _Root, frame: _Frame) -> None:
+        """Drive one frame of the fork-join task tree.
+
+        A completed frame bubbles up: the parent resumes when all
+        children of its current call segment have finished.  Events
+        (never recursion) drive sibling frames, which keeps re-entrancy
+        out of the state machine.
+        """
+        if root.done:
+            return
+        while True:
+            if frame.index >= len(frame.steps):
+                if frame.outstanding > 0:
+                    return  # waiting for the current call segment
+                parent = frame.parent
+                if parent is None:
+                    self._commit_root(root)
+                    return
+                # Local completion: nested locking retains this frame's
+                # holdings at the parent — at *every* component, because
+                # locks inherited from the frame's own children may live
+                # at components the frame never visited itself.
+                for component, scheduler in self.schedulers.items():
+                    scheduler.finish(frame.txn, parent=parent.txn)
+                    self._drain(component)
+                if root.done:
+                    return  # a woken sibling cascaded into a terminal state
+                parent.outstanding -= 1
+                if parent.outstanding == 0:
+                    frame = parent
+                    continue
+                return  # siblings of this frame are still running
+            step = frame.steps[frame.index]
+            if isinstance(step, AccessStep):
+                self._request_access(root, frame, step)
+                return  # waiting for completion, block, or aborted
+            self._launch_call_segment(root, frame)
+            return  # fork-join: resume when the segment's children finish
+
+    def _launch_call_segment(self, root: _Root, frame: _Frame) -> None:
+        """Issue the next call — or, with ``parallel_calls``, the whole
+        maximal run of consecutive calls — as concurrent child frames."""
+        start = frame.index
+        end = start + 1
+        if self.config.program.parallel_calls:
+            while end < len(frame.steps) and isinstance(
+                frame.steps[end], CallStep
+            ):
+                end += 1
+        segment = frame.steps[start:end]
+        frame.index = end
+        frame.outstanding += len(segment)
+        epoch = root.epoch
+        new_units: List[str] = []
+        children: List[_Frame] = []
+        for step in segment:
+            child_frame = self._issue_call(root, frame, step, segment_id=start)
+            children.append(child_frame)
+            new_units.append(child_frame.txn)
+        # Structural program order: every unit of an earlier segment of
+        # this frame precedes every unit of this one (transitively via
+        # the previous segment).  Seeding the registry with these edges
+        # lets the CC protocol refuse accesses that would contradict the
+        # program order across components.
+        for previous in frame.last_units:
+            for unit in new_units:
+                self.registry.try_order(
+                    previous, unit, tag=unit, witness=previous
+                )
+        frame.last_units = new_units
+        for child_frame in children:
+            self.queue.schedule(
+                0.0,
+                lambda r=root, f=child_frame, e=epoch: (
+                    self._advance(r, f)
+                    if not r.done and r.epoch == e
+                    else None
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # access handling
+    # ------------------------------------------------------------------
+    def _request_access(
+        self, root: _Root, frame: _Frame, step: AccessStep
+    ) -> None:
+        scheduler = self.schedulers[frame.component]
+        decision = scheduler.request(frame.txn, step.item, step.mode)
+        if decision is Decision.GRANT:
+            self._schedule_completion(root, frame, step)
+        elif decision is Decision.BLOCK:
+            key = (frame.component, frame.txn)
+            self._pending_block[key] = (root, frame, step.item, step.mode)
+            root.timeouts[key] = self.queue.schedule(
+                self.config.deadlock_timeout,
+                lambda: self._abort_root(root, "timeout"),
+            )
+        else:
+            self._abort_root(root, "protocol")
+
+    def _schedule_completion(
+        self, root: _Root, frame: _Frame, step: AccessStep
+    ) -> None:
+        mean = self.config.service_time_for(frame.component)
+        service = self.rng.expovariate(1.0 / mean)
+        epoch = root.epoch
+        # Record at the *grant* instant: that is when the scheduler fixes
+        # the serialization position of the access.  Recording at
+        # completion would let overlapping service intervals reorder
+        # conflicting accesses behind the scheduler's back.
+        op_id = f"{frame.txn}.o{frame.index}"
+        self.recorder.record_access(
+            root.name,
+            frame.component,
+            frame.txn,
+            op_id,
+            step.item,
+            step.mode,
+            self.queue.now,
+            segment=frame.index,
+        )
+
+        def complete() -> None:
+            if root.done or root.epoch != epoch:
+                return  # the attempt was aborted meanwhile
+            self.metrics.operations += 1
+            frame.index += 1
+            self._advance(root, frame)
+
+        self.queue.schedule(service, complete)
+
+    # ------------------------------------------------------------------
+    # call handling and order propagation (Def. 4.7)
+    # ------------------------------------------------------------------
+    def _issue_call(
+        self, root: _Root, frame: _Frame, step: CallStep, *, segment_id: int
+    ) -> _Frame:
+        root.call_counter += 1
+        child = f"{root.name}a{root.attempt}.c{root.call_counter}"
+        caller_component = frame.component
+        callee = step.component
+        self._propagate_orders(
+            caller_component, frame.txn, child, callee, segment_id
+        )
+        self._issued_calls[caller_component].append(
+            (frame.txn, child, callee, root.name, segment_id)
+        )
+        child_path = frame.path + (child,)
+        self._begin_transaction(root, callee, child, child_path)
+        self.recorder.record_call(
+            root.name,
+            caller_component,
+            frame.txn,
+            child,
+            self.queue.now,
+            segment=segment_id,
+        )
+        return _Frame(
+            callee, child, step.steps, path=child_path, parent=frame
+        )
+
+    def _propagate_orders(
+        self,
+        caller: str,
+        caller_txn: str,
+        child: str,
+        callee: str,
+        segment_id: int,
+    ) -> None:
+        """Tell the callee which earlier calls must precede ``child``.
+
+        A sibling call of the *same* transaction precedes ``child`` only
+        when it belongs to an earlier segment (members of one parallel
+        run are mutually unordered, Def. 1); calls of other transactions
+        precede it when the caller component has an established order
+        between the transactions.
+        """
+        scheduler = self.schedulers[caller]
+        if isinstance(scheduler, CompositeCCScheduler):
+            caller_order = scheduler.committed_order().union(
+                self._required[caller]
+            )
+        else:
+            caller_order = self._required[caller]
+        callee_scheduler = self.schedulers[callee]
+        for (
+            earlier_txn,
+            earlier_child,
+            target,
+            _root,
+            earlier_segment,
+        ) in self._issued_calls[caller]:
+            if target != callee:
+                continue
+            if earlier_txn == caller_txn:
+                ordered = earlier_segment != segment_id
+            else:
+                ordered = caller_order.reaches(earlier_txn, caller_txn)
+            if ordered:
+                self._required[callee].add(earlier_child, child)
+                callee_scheduler.require_order(earlier_child, child)
+
+    # ------------------------------------------------------------------
+    # terminal outcomes
+    # ------------------------------------------------------------------
+    def _commit_root(self, root: _Root) -> None:
+        root.done = True
+        touched = []
+        for component, txn in root.involved:
+            self.schedulers[component].commit(txn)
+            touched.append(component)
+        self.recorder.commit_root(root.name)
+        self.metrics.commits += 1
+        self.metrics.response_times.append(self.queue.now - root.start_time)
+        self._after_completion(root.client)
+        for component in touched:
+            self._drain(component)
+
+    def _abort_root(self, root: _Root, reason: str) -> None:
+        if root.done:
+            return
+        root.epoch += 1  # invalidate every in-flight event of the attempt
+        if reason == "timeout":
+            self.metrics.timeout_aborts += 1
+        else:
+            self.metrics.protocol_aborts += 1
+        for handle in root.timeouts.values():
+            handle.cancel()
+        root.timeouts = {}
+        touched = []
+        for component, txn in root.involved:
+            self._pending_block.pop((component, txn), None)
+            self.schedulers[component].abort(txn)
+            touched.append(component)
+        self._issued_calls_purge(root.name)
+        self.recorder.discard_attempt(root.name)
+        root.top = None
+        root.involved = []
+        if root.attempt >= self.config.max_attempts:
+            root.done = True
+            self.metrics.gave_up += 1
+            self._after_completion(root.client)
+        else:
+            backoff = self.config.retry_backoff * root.attempt
+            delay = self.rng.random() * backoff + 0.01
+            self.queue.schedule(delay, lambda: self._restart(root))
+        for component in touched:
+            self._drain(component)
+
+    def _restart(self, root: _Root) -> None:
+        if not root.done:
+            self._start_attempt(root)
+
+    def _issued_calls_purge(self, root_name: str) -> None:
+        for component, calls in self._issued_calls.items():
+            self._issued_calls[component] = [
+                entry for entry in calls if entry[3] != root_name
+            ]
+
+    # ------------------------------------------------------------------
+    # unblocking
+    # ------------------------------------------------------------------
+    def _drain(self, component: str) -> None:
+        scheduler = self.schedulers[component]
+        for txn, item, mode in scheduler.drain_granted():
+            key = (component, txn)
+            entry = self._pending_block.pop(key, None)
+            if entry is None:
+                continue  # the owner aborted in the meantime
+            root, frame, want_item, want_mode = entry
+            if root.done or (want_item, want_mode) != (item, mode):
+                continue
+            handle = root.timeouts.pop(key, None)
+            if handle is not None:
+                handle.cancel()
+            step = frame.steps[frame.index]
+            assert isinstance(step, AccessStep)
+            self._schedule_completion(root, frame, step)
+
+
+def simulate(config: SimulationConfig, **run_kwargs) -> SimulationResult:
+    """Convenience: build and run one simulation."""
+    return Simulation(config).run(**run_kwargs)

@@ -1,0 +1,65 @@
+"""Deterministic discrete-event machinery.
+
+A tiny, dependency-free event queue: events fire in ``(time, seq)``
+order, where ``seq`` is an insertion counter, so two events at the same
+instant fire in schedule order — runs are bit-for-bit reproducible for a
+given seed.  Events can be cancelled (lazily) via their handle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+@dataclass
+class EventHandle:
+    """Cancellation handle for a scheduled event."""
+
+    time: float
+    seq: int
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of ``(time, seq, callback)`` entries."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, EventHandle, Callable[[], None]]] = []
+        self._seq = 0
+        self.now = 0.0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` after the current time."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        self._seq += 1
+        handle = EventHandle(time=self.now + delay, seq=self._seq)
+        heapq.heappush(
+            self._heap, (handle.time, handle.seq, handle, callback)
+        )
+        return handle
+
+    def run(self, *, max_events: Optional[int] = None) -> int:
+        """Drain the queue; returns the number of events fired."""
+        fired = 0
+        while self._heap:
+            if max_events is not None and fired >= max_events:
+                break
+            time, _seq, handle, callback = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = time
+            callback()
+            fired += 1
+        return fired
+
+    def __len__(self) -> int:
+        return sum(1 for *_rest, h, _cb in self._heap if not h.cancelled)
+
+    def empty(self) -> bool:
+        return len(self) == 0

@@ -1,0 +1,70 @@
+"""Simulation metrics: throughput, response times, abort accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class Metrics:
+    """Counters filled in by the engine while a simulation runs."""
+
+    commits: int = 0
+    protocol_aborts: int = 0  # scheduler said ABORT
+    timeout_aborts: int = 0  # blocked past the deadlock timeout
+    gave_up: int = 0  # roots that exhausted max_attempts
+    operations: int = 0
+    response_times: List[float] = field(default_factory=list)
+    end_time: float = 0.0
+
+    @property
+    def attempts(self) -> int:
+        return self.commits + self.protocol_aborts + self.timeout_aborts
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborted attempts per attempt."""
+        total = self.attempts
+        if total == 0:
+            return 0.0
+        return (self.protocol_aborts + self.timeout_aborts) / total
+
+    @property
+    def throughput(self) -> float:
+        """Committed roots per unit of simulated time."""
+        if self.end_time <= 0:
+            return 0.0
+        return self.commits / self.end_time
+
+    @property
+    def mean_response_time(self) -> float:
+        if not self.response_times:
+            return 0.0
+        return sum(self.response_times) / len(self.response_times)
+
+    def percentile_response_time(self, q: float) -> float:
+        """``q``-th percentile (0..100) of root response times."""
+        if not self.response_times:
+            return 0.0
+        data = sorted(self.response_times)
+        if len(data) == 1:
+            return data[0]
+        rank = (q / 100.0) * (len(data) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(data) - 1)
+        frac = rank - lo
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "commits": self.commits,
+            "protocol_aborts": self.protocol_aborts,
+            "timeout_aborts": self.timeout_aborts,
+            "gave_up": self.gave_up,
+            "operations": self.operations,
+            "abort_rate": round(self.abort_rate, 4),
+            "throughput": round(self.throughput, 4),
+            "mean_response_time": round(self.mean_response_time, 4),
+            "p95_response_time": round(self.percentile_response_time(95), 4),
+        }

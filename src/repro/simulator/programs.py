@@ -1,0 +1,180 @@
+"""Transaction programs: what a composite transaction *does*.
+
+A program is a tree mirroring the invocation topology: at a component a
+transaction performs a sequence of steps — local data accesses and calls
+that delegate a subprogram to another component.  Programs are generated
+once per root and re-executed verbatim on retry (the classical
+transaction-restart model).
+
+Items are component-local (``"B1:k3"``); item selection follows a
+zipf-like skew so hot-spot contention is tunable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple, Union
+
+from repro.workloads.topologies import TopologySpec
+
+
+@dataclass(frozen=True)
+class AccessStep:
+    """Read or write one local data item."""
+
+    item: str
+    mode: str  # "r" or "w"
+
+
+@dataclass
+class CallStep:
+    """Delegate a subprogram to another component."""
+
+    component: str
+    steps: List["Step"] = field(default_factory=list)
+
+
+Step = Union[AccessStep, CallStep]
+
+
+@dataclass
+class Program:
+    """A root transaction's program: its home component and step tree."""
+
+    component: str
+    steps: List[Step]
+
+    def access_count(self) -> int:
+        return _count_accesses(self.steps)
+
+    def call_count(self) -> int:
+        return _count_calls(self.steps)
+
+
+def _count_accesses(steps: Sequence[Step]) -> int:
+    total = 0
+    for step in steps:
+        if isinstance(step, AccessStep):
+            total += 1
+        else:
+            total += _count_accesses(step.steps)
+    return total
+
+
+def _count_calls(steps: Sequence[Step]) -> int:
+    total = 0
+    for step in steps:
+        if isinstance(step, CallStep):
+            total += 1 + _count_calls(step.steps)
+    return total
+
+
+@dataclass(frozen=True)
+class ProgramConfig:
+    """Shape parameters for random programs."""
+
+    accesses_per_transaction: Tuple[int, int] = (1, 3)
+    calls_per_transaction: Tuple[int, int] = (1, 2)
+    items_per_component: int = 8
+    write_probability: float = 0.5
+    local_access_probability: float = 0.0
+    item_skew: float = 0.0  # 0 = uniform; larger = hotter hot spots
+    #: execute consecutive runs of calls concurrently (fork-join): the
+    #: run's subtransactions are mutually unordered (Def. 1's
+    #: unrestricted parallelism); the transaction waits for the whole
+    #: run before its next step.
+    parallel_calls: bool = False
+
+
+def pick_item(
+    component: str,
+    config: ProgramConfig,
+    rng: random.Random,
+    lane: Tuple[float, float] = (0.0, 1.0),
+) -> str:
+    """Skewed item choice: item ``k0`` is the hottest (within the lane).
+
+    ``lane`` restricts the choice to a fraction of the component's item
+    space.  Parallel sibling subtrees of one transaction get disjoint
+    lanes so a transaction never races *itself* — a data race between
+    parallel branches of one program is a bug in the program, not a
+    concurrency-control scenario.  Different transactions use the full
+    space relative to their own lanes and contend normally.
+    """
+    n = config.items_per_component
+    lo = int(lane[0] * n)
+    hi = max(lo + 1, int(lane[1] * n))
+    hi = min(hi, n)
+    width = hi - lo
+    if config.item_skew <= 0:
+        index = lo + rng.randrange(width)
+    else:
+        weights = [1.0 / (i + 1) ** config.item_skew for i in range(width)]
+        index = lo + rng.choices(range(width), weights=weights, k=1)[0]
+    return f"{component}:k{index}"
+
+
+def random_program(
+    topology: TopologySpec,
+    root_component: str,
+    config: ProgramConfig,
+    rng: random.Random,
+) -> Program:
+    """Generate a random program rooted at ``root_component``."""
+    return Program(
+        component=root_component,
+        steps=_random_steps(topology, root_component, config, rng),
+    )
+
+
+def _random_steps(
+    topology: TopologySpec,
+    component: str,
+    config: ProgramConfig,
+    rng: random.Random,
+    lane: Tuple[float, float] = (0.0, 1.0),
+) -> List[Step]:
+    callees = topology.invokes[component]
+    steps: List[Step] = []
+    if not callees:
+        lo, hi = config.accesses_per_transaction
+        for _ in range(rng.randint(lo, hi)):
+            mode = "w" if rng.random() < config.write_probability else "r"
+            steps.append(
+                AccessStep(pick_item(component, config, rng, lane), mode)
+            )
+        return steps
+    lo, hi = config.calls_per_transaction
+    count = rng.randint(lo, hi)
+    for position in range(count):
+        if (
+            config.local_access_probability > 0
+            and rng.random() < config.local_access_probability
+        ):
+            mode = "w" if rng.random() < config.write_probability else "r"
+            steps.append(
+                AccessStep(pick_item(component, config, rng, lane), mode)
+            )
+        else:
+            if config.parallel_calls and count > 1:
+                # Disjoint sub-lane per sibling: parallel branches of one
+                # transaction never touch the same items (race-free
+                # programs; see pick_item).
+                span = (lane[1] - lane[0]) / count
+                sub = (
+                    lane[0] + position * span,
+                    lane[0] + (position + 1) * span,
+                )
+            else:
+                sub = lane
+            callee = rng.choice(callees)
+            steps.append(
+                CallStep(
+                    component=callee,
+                    steps=_random_steps(
+                        topology, callee, config, rng, lane=sub
+                    ),
+                )
+            )
+    return steps

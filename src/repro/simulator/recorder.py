@@ -1,0 +1,194 @@
+"""Recording simulated executions as composite systems.
+
+The recorder is the bridge from the simulator back to the theory: it
+logs every granted access and every delegated call of every transaction
+attempt, keeps only the *committed* attempt of each root, and assembles
+the result into the formal objects of Def. 3–4 so the Comp-C checker
+(and every other criterion) can judge the protocols' output.
+
+Conflicts are the read/write kind: two committed accesses of one
+component conflict when they touch the same item and at least one
+writes.  Transactions declare their program order as a weak
+intra-transaction order (the program is a sequential data flow).
+
+Assembly tries full Def.-3/Def.-4 validation first; a protocol that does
+not respect propagated input orders (plain SGT or TO, by design) can
+produce executions that are not valid *schedules* in the paper's sense —
+those are flagged (``axiom_violation``) and assembled without validation
+so the checker can still classify them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.builder import SystemBuilder
+from repro.criteria.registry import RecordedExecution
+from repro.exceptions import CompositeTxError, ModelError, ScheduleAxiomError
+
+
+@dataclass
+class _OpRecord:
+    component: str
+    txn: str
+    op: str
+    time: float
+    seq: int  # global tie-breaker: recording order
+    item: Optional[str] = None  # None for call-ops
+    mode: Optional[str] = None
+
+
+@dataclass
+class AssembledRun:
+    """The finalized recording."""
+
+    recorded: RecordedExecution
+    axiom_violation: Optional[str]  # message, or None when fully valid
+    committed_roots: Tuple[str, ...]
+
+
+class ExecutionRecorder:
+    """Collects per-attempt operation logs and assembles the survivors."""
+
+    def __init__(self) -> None:
+        self._ops: Dict[str, List[_OpRecord]] = {}  # root -> current attempt
+        # txn -> list of (step, segment id)
+        self._txn_steps: Dict[str, Dict[str, List[Tuple[str, int]]]] = {}
+        self._txn_component: Dict[str, Dict[str, str]] = {}
+        self._committed: Dict[str, List[_OpRecord]] = {}
+        self._seq = 0
+        self._committed_txns: Dict[str, Dict[str, List[Tuple[str, int]]]] = {}
+        self._committed_comp: Dict[str, Dict[str, str]] = {}
+
+    # ------------------------------------------------------------------
+    # per-attempt logging
+    # ------------------------------------------------------------------
+    def begin_attempt(self, root: str) -> None:
+        """Reset the log for a new attempt of ``root``."""
+        self._ops[root] = []
+        self._txn_steps[root] = {}
+        self._txn_component[root] = {}
+
+    def begin_transaction(self, root: str, txn: str, component: str) -> None:
+        self._txn_steps[root].setdefault(txn, [])
+        self._txn_component[root][txn] = component
+
+    def record_access(
+        self,
+        root: str,
+        component: str,
+        txn: str,
+        op: str,
+        item: str,
+        mode: str,
+        time: float,
+        segment: Optional[int] = None,
+    ) -> None:
+        self._seq += 1
+        self._ops[root].append(
+            _OpRecord(component, txn, op, time, self._seq, item=item, mode=mode)
+        )
+        steps = self._txn_steps[root][txn]
+        steps.append((op, len(steps) if segment is None else segment))
+
+    def record_call(
+        self,
+        root: str,
+        component: str,
+        txn: str,
+        child: str,
+        time: float,
+        segment: Optional[int] = None,
+    ) -> None:
+        self._seq += 1
+        self._ops[root].append(_OpRecord(component, txn, child, time, self._seq))
+        steps = self._txn_steps[root][txn]
+        steps.append((child, len(steps) if segment is None else segment))
+
+    def commit_root(self, root: str) -> None:
+        self._committed[root] = self._ops.pop(root)
+        self._committed_txns[root] = self._txn_steps.pop(root)
+        self._committed_comp[root] = self._txn_component.pop(root)
+
+    def discard_attempt(self, root: str) -> None:
+        self._ops.pop(root, None)
+        self._txn_steps.pop(root, None)
+        self._txn_component.pop(root, None)
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    def assemble(self) -> AssembledRun:
+        """Build the committed execution as a composite system."""
+        if not self._committed:
+            raise ModelError("no committed transactions to assemble")
+
+        # Chronological per-component sequences over committed attempts.
+        per_component: Dict[str, List[_OpRecord]] = {}
+        for root, records in self._committed.items():
+            for record in records:
+                per_component.setdefault(record.component, []).append(record)
+        for records in per_component.values():
+            records.sort(key=lambda r: (r.time, r.seq))
+
+        def build(validate: bool) -> RecordedExecution:
+            builder = SystemBuilder()
+            for root, txns in self._committed_txns.items():
+                components = self._committed_comp[root]
+                for txn, tagged_steps in txns.items():
+                    steps = [op for op, _seg in tagged_steps]
+                    # Program order is a *partial* order: steps of one
+                    # segment (a parallel call run) are mutually
+                    # unordered; consecutive segments are fully ordered.
+                    # Group by segment id, preserving order of appearance:
+                    weak = []
+                    grouped: List[Tuple[int, List[str]]] = []
+                    for op, seg in tagged_steps:
+                        if grouped and grouped[-1][0] == seg:
+                            grouped[-1][1].append(op)
+                        else:
+                            grouped.append((seg, [op]))
+                    for (s_a, ops_a), (s_b, ops_b) in zip(
+                        grouped, grouped[1:]
+                    ):
+                        for a in ops_a:
+                            for b in ops_b:
+                                weak.append((a, b))
+                    builder.transaction(
+                        txn, components[txn], steps, weak_order=weak
+                    )
+            executions: Dict[str, List[str]] = {}
+            for component, records in per_component.items():
+                sequence = [record.op for record in records]
+                executions[component] = sequence
+                accesses = [r for r in records if r.item is not None]
+                for i, a in enumerate(accesses):
+                    for b in accesses[i + 1:]:
+                        if (
+                            a.item == b.item
+                            and a.txn != b.txn
+                            and "w" in (a.mode, b.mode)
+                        ):
+                            builder.conflict(component, a.op, b.op)
+                builder.executed(component, sequence)
+            system = builder.build(validate=validate)
+            return RecordedExecution(system=system, executions=executions)
+
+        try:
+            return AssembledRun(
+                recorded=build(validate=True),
+                axiom_violation=None,
+                committed_roots=tuple(self._committed),
+            )
+        except (ScheduleAxiomError, ModelError) as err:
+            recorded = build(validate=False)
+            return AssembledRun(
+                recorded=recorded,
+                axiom_violation=str(err),
+                committed_roots=tuple(self._committed),
+            )
+
+    @property
+    def committed_count(self) -> int:
+        return len(self._committed)

@@ -1,0 +1,155 @@
+"""Named workload scenarios (the paper's motivating applications).
+
+The introduction motivates composite systems with TP monitors,
+CORBA-style services and web information systems.  This module ships a
+concrete one: a **TP monitor** front-ending three resource managers,
+with a TPC-flavoured transaction mix — deterministic program *shapes*
+(only item choices are random), so experiment results are attributable
+to concurrency control rather than workload noise.
+
+Components
+----------
+``TPM``        the TP monitor (root schedule; pure coordinator)
+``AccountsDB`` account balances (hot rows under zipf skew)
+``StockDB``    product stock levels
+``LogDB``      append-style audit records (write-mostly)
+
+Transaction mix
+---------------
+``payment``   debit one account, credit another, append a log record
+``order``     check stock, decrement it, debit an account, log
+``audit``     read a batch of accounts and stock rows (read-only)
+
+Use with the engine::
+
+    cfg = SimulationConfig(
+        topology=tp_monitor_topology(),
+        program_factory=tp_monitor_mix(payment=0.5, order=0.35, audit=0.15),
+        protocol="cc",
+    )
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import WorkloadError
+from repro.simulator.programs import AccessStep, CallStep, Program
+from repro.workloads.topologies import TopologySpec
+
+ACCOUNTS = 8
+PRODUCTS = 8
+LOG_PARTITIONS = 4
+
+
+def tp_monitor_topology() -> TopologySpec:
+    """The TP-monitor fork: one coordinator, three resource managers."""
+    managers = ["AccountsDB", "StockDB", "LogDB"]
+    return TopologySpec(
+        name="tp_monitor",
+        levels={"TPM": 2, **{m: 1 for m in managers}},
+        invokes={"TPM": managers, **{m: [] for m in managers}},
+        root_schedules=["TPM"],
+    ).validate()
+
+
+def _account(rng: random.Random, skew: float = 0.8) -> str:
+    weights = [1.0 / (i + 1) ** skew for i in range(ACCOUNTS)]
+    return f"AccountsDB:a{rng.choices(range(ACCOUNTS), weights=weights, k=1)[0]}"
+
+
+def _product(rng: random.Random, skew: float = 0.8) -> str:
+    weights = [1.0 / (i + 1) ** skew for i in range(PRODUCTS)]
+    return f"StockDB:p{rng.choices(range(PRODUCTS), weights=weights, k=1)[0]}"
+
+
+def _log(rng: random.Random) -> str:
+    return f"LogDB:l{rng.randrange(LOG_PARTITIONS)}"
+
+
+def payment_program(rng: random.Random) -> Program:
+    """Debit one account, credit another, append to the log."""
+    debit, credit = _account(rng), _account(rng)
+    return Program(
+        component="TPM",
+        steps=[
+            CallStep(
+                "AccountsDB",
+                [
+                    AccessStep(debit, "r"),
+                    AccessStep(debit, "w"),
+                    AccessStep(credit, "r"),
+                    AccessStep(credit, "w"),
+                ],
+            ),
+            CallStep("LogDB", [AccessStep(_log(rng), "w")]),
+        ],
+    )
+
+
+def order_program(rng: random.Random) -> Program:
+    """Check + decrement stock, debit the buyer, log the order."""
+    product = _product(rng)
+    buyer = _account(rng)
+    return Program(
+        component="TPM",
+        steps=[
+            CallStep(
+                "StockDB",
+                [AccessStep(product, "r"), AccessStep(product, "w")],
+            ),
+            CallStep(
+                "AccountsDB",
+                [AccessStep(buyer, "r"), AccessStep(buyer, "w")],
+            ),
+            CallStep("LogDB", [AccessStep(_log(rng), "w")]),
+        ],
+    )
+
+
+def audit_program(rng: random.Random) -> Program:
+    """Read-only sweep over a few accounts and products."""
+    accounts = [AccessStep(_account(rng, skew=0.0), "r") for _ in range(3)]
+    products = [AccessStep(_product(rng, skew=0.0), "r") for _ in range(2)]
+    return Program(
+        component="TPM",
+        steps=[
+            CallStep("AccountsDB", accounts),
+            CallStep("StockDB", products),
+        ],
+    )
+
+
+PROGRAMS: Dict[str, Callable[[random.Random], Program]] = {
+    "payment": payment_program,
+    "order": order_program,
+    "audit": audit_program,
+}
+
+
+def tp_monitor_mix(
+    payment: float = 0.5, order: float = 0.35, audit: float = 0.15
+):
+    """A program factory drawing from the transaction mix.
+
+    The returned callable has the ``(topology, home, rng)`` signature
+    :class:`repro.simulator.engine.SimulationConfig` expects.
+    """
+    total = payment + order + audit
+    if total <= 0:
+        raise WorkloadError("the transaction mix must have positive mass")
+    weights = [payment / total, order / total, audit / total]
+    kinds = ["payment", "order", "audit"]
+
+    def factory(
+        topology: TopologySpec, home: str, rng: random.Random
+    ) -> Program:
+        if home != "TPM":
+            raise WorkloadError(
+                "the TP-monitor mix issues transactions through 'TPM'"
+            )
+        kind = rng.choices(kinds, weights=weights, k=1)[0]
+        return PROGRAMS[kind](rng)
+
+    return factory

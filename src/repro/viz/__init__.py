@@ -1,0 +1,16 @@
+"""Rendering: Graphviz DOT export and terminal (ASCII) views."""
+
+from repro.viz.ascii_art import render_forest, render_front, render_levels
+from repro.viz.dot import forest_dot, front_dot, invocation_graph_dot
+from repro.viz.timeline import interleaving_profile, render_lanes
+
+__all__ = [
+    "render_forest",
+    "render_front",
+    "render_levels",
+    "forest_dot",
+    "front_dot",
+    "invocation_graph_dot",
+    "interleaving_profile",
+    "render_lanes",
+]

@@ -1,0 +1,65 @@
+"""Terminal rendering of composite systems and reductions.
+
+The examples print these: an indented execution-forest view, a level
+map of the invocation graph, and relation listings for fronts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.front import Front
+from repro.core.system import CompositeSystem
+
+
+def render_forest(system: CompositeSystem) -> str:
+    """Indented tree view of every composite transaction."""
+    lines: List[str] = []
+
+    def label(node: str) -> str:
+        if system.is_transaction(node):
+            return f"{node}  [{system.schedule_of_transaction(node)}]"
+        return node
+
+    def visit(node: str, prefix: str, last: bool) -> None:
+        connector = "`-- " if last else "|-- "
+        lines.append(prefix + connector + label(node))
+        if system.is_transaction(node):
+            children = system.children(node)
+            extension = "    " if last else "|   "
+            for i, child in enumerate(children):
+                visit(child, prefix + extension, i == len(children) - 1)
+
+    for root in system.roots:
+        lines.append(label(root))
+        children = system.children(root)
+        for i, child in enumerate(children):
+            visit(child, "", i == len(children) - 1)
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_levels(system: CompositeSystem) -> str:
+    """Schedules grouped by level, top down (the Figure-1 view)."""
+    by_level: dict = {}
+    for name, level in system.levels.items():
+        by_level.setdefault(level, []).append(name)
+    lines = []
+    for level in sorted(by_level, reverse=True):
+        names = ", ".join(sorted(by_level[level]))
+        lines.append(f"level {level}: {names}")
+    return "\n".join(lines)
+
+
+def render_front(front: Front) -> str:
+    """One front: nodes, observed order, input orders, CC verdict."""
+    lines = [f"level {front.level} front"]
+    lines.append("  nodes:    " + ", ".join(front.nodes))
+    obs = ", ".join(f"{a}<{b}" for a, b in front.observed.pairs())
+    lines.append("  observed: " + (obs or "(empty)"))
+    inp = ", ".join(f"{a}->{b}" for a, b in front.input_weak.pairs())
+    lines.append("  inputs:   " + (inp or "(empty)"))
+    lines.append(
+        "  CC:       " + ("yes" if front.is_conflict_consistent() else "NO")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Graphviz DOT export of the model's graphs.
+
+Produces plain DOT text (no graphviz dependency — render with any
+``dot`` binary or online viewer): invocation graphs, execution forests
+and computational fronts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.front import Front
+from repro.core.system import CompositeSystem
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '\\"') + '"'
+
+
+def invocation_graph_dot(system: CompositeSystem) -> str:
+    """The Def.-8 invocation graph, ranked by level."""
+    lines: List[str] = ["digraph invocation {", "  rankdir=TB;"]
+    by_level: dict = {}
+    for name, level in system.levels.items():
+        by_level.setdefault(level, []).append(name)
+    for level in sorted(by_level, reverse=True):
+        members = " ".join(_quote(n) for n in sorted(by_level[level]))
+        lines.append(f"  {{ rank=same; {members} }}")
+    for name, level in sorted(system.levels.items()):
+        lines.append(
+            f"  {_quote(name)} [shape=box, label={_quote(f'{name} (L{level})')}];"
+        )
+    for a, b in system.invocation_graph.pairs():
+        lines.append(f"  {_quote(a)} -> {_quote(b)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def forest_dot(system: CompositeSystem) -> str:
+    """The execution forest: every composite transaction as a tree."""
+    lines: List[str] = ["digraph forest {", "  rankdir=TB;"]
+    for node in system.all_nodes():
+        if system.is_root(node):
+            shape, style = "doubleoctagon", "bold"
+        elif system.is_leaf(node):
+            shape, style = "ellipse", "solid"
+        else:
+            shape, style = "box", "solid"
+        lines.append(
+            f"  {_quote(node)} [shape={shape}, style={style}];"
+        )
+    for node in system.all_nodes():
+        if system.is_transaction(node):
+            for child in system.children(node):
+                lines.append(f"  {_quote(node)} -> {_quote(child)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def front_dot(front: Front, *, title: Optional[str] = None) -> str:
+    """A front with its observed order (solid) and input orders (dashed)."""
+    name = title or f"front_level_{front.level}"
+    lines: List[str] = [f"digraph {name.replace(' ', '_')} {{"]
+    lines.append(f'  label="{name}"; labelloc=top;')
+    for node in front.nodes:
+        lines.append(f"  {_quote(node)} [shape=box];")
+    for a, b in front.observed.pairs():
+        lines.append(f"  {_quote(a)} -> {_quote(b)};")
+    for a, b in front.input_weak.pairs():
+        lines.append(f"  {_quote(a)} -> {_quote(b)} [style=dashed];")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Workload and topology generators.
+
+Topologies describe the static shape of a composite system (stack /
+fork / join / tree / layered DAG — the paper's taxonomy plus the general
+Figure-1 case); the generator populates a topology with a random,
+always-well-formed composite execution; the flat module generates
+classical read/write histories for the baseline criteria.
+"""
+
+from repro.workloads.flat import (
+    FlatWorkloadConfig,
+    flat_history_batch,
+    random_flat_history,
+)
+from repro.workloads.generator import WorkloadConfig, generate, generate_batch
+from repro.workloads.topologies import (
+    TopologySpec,
+    fork_topology,
+    join_topology,
+    random_dag_topology,
+    stack_topology,
+    tree_topology,
+)
+
+__all__ = [
+    "FlatWorkloadConfig",
+    "flat_history_batch",
+    "random_flat_history",
+    "WorkloadConfig",
+    "generate",
+    "generate_batch",
+    "TopologySpec",
+    "fork_topology",
+    "join_topology",
+    "random_dag_topology",
+    "stack_topology",
+    "tree_topology",
+]

@@ -1,0 +1,188 @@
+"""Configuration (topology) descriptors for generated composite systems.
+
+A :class:`TopologySpec` describes the *static* shape of a composite
+system — its schedules, their levels, which schedules host roots and
+which schedules each level invokes — without any transactions yet.  The
+generator (:mod:`repro.workloads.generator`) populates a spec with a
+random execution forest and recorded schedules.
+
+The shapes match the paper's taxonomy:
+
+* ``stack``  — Def. 21, the multilevel-transaction chain;
+* ``fork``   — Def. 23, one coordinator over ``n`` disjoint resource
+  managers (a distributed transaction / federated DB);
+* ``join``   — Def. 25, ``n`` independent applications over one shared
+  server;
+* ``tree``   — a balanced invocation tree (every schedule invoked by
+  exactly one caller);
+* ``dag``    — the general case: a layered random invocation DAG, roots
+  allowed at any layer (Figure 1's arbitrary configuration).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.exceptions import WorkloadError
+
+
+@dataclass
+class TopologySpec:
+    """The static shape of a composite system.
+
+    ``invokes`` maps a schedule to the schedules its transactions may
+    delegate to (empty list = leaf schedule).  ``root_schedules`` lists
+    the schedules on which composite transactions start.
+    """
+
+    name: str
+    levels: Dict[str, int]
+    invokes: Dict[str, List[str]]
+    root_schedules: List[str]
+
+    @property
+    def order(self) -> int:
+        return max(self.levels.values())
+
+    @property
+    def schedule_names(self) -> Tuple[str, ...]:
+        return tuple(self.levels)
+
+    def validate(self) -> "TopologySpec":
+        for schedule, targets in self.invokes.items():
+            for target in targets:
+                if self.levels[target] >= self.levels[schedule]:
+                    raise WorkloadError(
+                        f"{schedule} (level {self.levels[schedule]}) cannot "
+                        f"invoke {target} (level {self.levels[target]})"
+                    )
+        if not self.root_schedules:
+            raise WorkloadError("topology declares no root schedules")
+        return self
+
+
+def stack_topology(depth: int) -> TopologySpec:
+    """A Def.-21 stack of ``depth`` schedules; roots on the top."""
+    if depth < 1:
+        raise WorkloadError("stack depth must be >= 1")
+    names = [f"L{level}" for level in range(depth, 0, -1)]
+    levels = {name: depth - i for i, name in enumerate(names)}
+    invokes = {
+        name: [names[i + 1]] if i + 1 < len(names) else []
+        for i, name in enumerate(names)
+    }
+    return TopologySpec(
+        name=f"stack{depth}",
+        levels=levels,
+        invokes=invokes,
+        root_schedules=[names[0]],
+    ).validate()
+
+
+def fork_topology(branches: int) -> TopologySpec:
+    """A Def.-23 fork: coordinator ``F`` over ``branches`` managers."""
+    if branches < 1:
+        raise WorkloadError("a fork needs at least one branch")
+    branch_names = [f"B{i}" for i in range(1, branches + 1)]
+    levels = {"F": 2, **{name: 1 for name in branch_names}}
+    return TopologySpec(
+        name=f"fork{branches}",
+        levels=levels,
+        invokes={"F": list(branch_names), **{n: [] for n in branch_names}},
+        root_schedules=["F"],
+    ).validate()
+
+
+def join_topology(clients: int) -> TopologySpec:
+    """A Def.-25 join: ``clients`` applications over one server ``J``."""
+    if clients < 1:
+        raise WorkloadError("a join needs at least one client schedule")
+    client_names = [f"C{i}" for i in range(1, clients + 1)]
+    levels = {**{name: 2 for name in client_names}, "J": 1}
+    return TopologySpec(
+        name=f"join{clients}",
+        levels=levels,
+        invokes={**{n: ["J"] for n in client_names}, "J": []},
+        root_schedules=list(client_names),
+    ).validate()
+
+
+def tree_topology(depth: int, fanout: int) -> TopologySpec:
+    """A balanced invocation tree: each non-leaf schedule invokes
+    ``fanout`` private schedules one level down; roots at the top."""
+    if depth < 1 or fanout < 1:
+        raise WorkloadError("tree depth and fanout must be >= 1")
+    levels: Dict[str, int] = {}
+    invokes: Dict[str, List[str]] = {}
+    frontier = ["N0"]
+    levels["N0"] = depth
+    counter = 1
+    for level in range(depth - 1, 0, -1):
+        next_frontier: List[str] = []
+        for parent in frontier:
+            children = []
+            for _ in range(fanout):
+                child = f"N{counter}"
+                counter += 1
+                levels[child] = level
+                children.append(child)
+            invokes[parent] = children
+            next_frontier.extend(children)
+        frontier = next_frontier
+    for leaf in frontier:
+        invokes[leaf] = []
+    return TopologySpec(
+        name=f"tree{depth}x{fanout}",
+        levels=levels,
+        invokes=invokes,
+        root_schedules=["N0"],
+    ).validate()
+
+
+def random_dag_topology(
+    layers: int,
+    width: int,
+    *,
+    seed: int = 0,
+    edge_probability: float = 0.5,
+    extra_roots: int = 1,
+) -> TopologySpec:
+    """A layered random DAG (the general Figure-1 shape).
+
+    ``layers`` schedule layers of ``width`` schedules each; every
+    schedule invokes a random non-empty subset of the layer below
+    (probability ``edge_probability`` per candidate).  Roots live on the
+    top layer plus up to ``extra_roots`` random lower schedules, giving
+    composite transactions of different heights.
+    """
+    if layers < 1 or width < 1:
+        raise WorkloadError("layers and width must be >= 1")
+    rng = random.Random(seed)
+    levels: Dict[str, int] = {}
+    invokes: Dict[str, List[str]] = {}
+    grid: List[List[str]] = []
+    for layer in range(layers, 0, -1):
+        row = [f"S{layer}_{i}" for i in range(width)]
+        for name in row:
+            levels[name] = layer
+        grid.append(row)
+    for upper, lower in zip(grid, grid[1:]):
+        for name in upper:
+            targets = [t for t in lower if rng.random() < edge_probability]
+            if not targets:
+                targets = [rng.choice(lower)]
+            invokes[name] = targets
+    for name in grid[-1]:
+        invokes[name] = []
+    root_schedules = list(grid[0])
+    lower_pool = [name for row in grid[1:] for name in row]
+    rng.shuffle(lower_pool)
+    root_schedules.extend(lower_pool[:extra_roots])
+    return TopologySpec(
+        name=f"dag{layers}x{width}",
+        levels=levels,
+        invokes=invokes,
+        root_schedules=root_schedules,
+    ).validate()

@@ -1,0 +1,113 @@
+"""Unit tests for the analysis layer: stats, tables, experiments."""
+
+import pytest
+
+from repro.analysis.hierarchy import (
+    CONTAINMENTS,
+    run_hierarchy_experiment,
+    total_violations,
+)
+from repro.analysis.scaling import checker_scaling, depth_scaling
+from repro.analysis.stats import (
+    mean,
+    proportion_summary,
+    std_error,
+    variance,
+    wilson_interval,
+)
+from repro.analysis.tables import banner, format_table
+from repro.analysis.theorems import (
+    theorem1_experiment,
+    theorem2_rows,
+    theorem3_rows,
+    theorem4_rows,
+)
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+        assert mean([]) == 0.0
+
+    def test_variance(self):
+        assert variance([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(4.571, rel=1e-3)
+        assert variance([5]) == 0.0
+
+    def test_std_error(self):
+        assert std_error([1, 1, 1, 1]) == 0.0
+        assert std_error([7]) == 0.0
+
+    def test_wilson_bounds(self):
+        lo, hi = wilson_interval(0, 10)
+        assert lo == 0.0 and hi < 0.35
+        lo, hi = wilson_interval(10, 10)
+        assert lo > 0.65 and hi == 1.0
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_wilson_is_an_interval(self):
+        for s, n in [(3, 10), (5, 7), (1, 100)]:
+            lo, hi = wilson_interval(s, n)
+            assert 0 <= lo <= s / n <= hi <= 1
+
+    def test_proportion_summary(self):
+        assert proportion_summary(0, 0) == "n/a"
+        assert proportion_summary(5, 10).startswith("0.50 [")
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long_header"], [[1, 2], ["xx", "yyyy"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_banner(self):
+        assert "P1" in banner("P1")
+
+
+class TestHierarchyExperiment:
+    def test_no_containment_violations(self):
+        rows = run_hierarchy_experiment(trials=10, conflict_rates=(0.1, 0.4))
+        assert total_violations(rows) == 0
+
+    def test_rates_bounded(self):
+        rows = run_hierarchy_experiment(trials=8, conflict_rates=(0.2,))
+        for row in rows:
+            for name in row.accepted:
+                assert 0.0 <= row.rate(name) <= 1.0
+
+    def test_containment_list_is_sane(self):
+        narrows = {n for n, _w in CONTAINMENTS}
+        assert "opsr" in narrows and "scc" in narrows
+
+
+class TestTheoremExperiments:
+    def test_theorem2_agreement_is_total(self):
+        for row in theorem2_rows(depths=(2,), trials=20):
+            assert row.disagreements == 0
+            assert row.trials > 0
+
+    def test_theorem3_agreement_is_total(self):
+        for row in theorem3_rows(branch_counts=(2,), trials=20):
+            assert row.disagreements == 0
+
+    def test_theorem4_agreement_is_total(self):
+        for row in theorem4_rows(client_counts=(2,), trials=20):
+            assert row.disagreements == 0
+
+    def test_theorem1_constructive(self):
+        for row in theorem1_experiment(trials=12):
+            assert row.all_valid, row
+
+
+class TestScaling:
+    def test_checker_scaling_points(self):
+        points = checker_scaling(root_counts=(2, 4), repeats=1)
+        assert len(points) == 2
+        assert points[0].operations < points[1].operations
+        assert all(p.seconds >= 0 for p in points)
+
+    def test_depth_scaling_points(self):
+        points = depth_scaling(depths=(2, 3), repeats=1)
+        assert len(points) == 2
+        assert points[0].operations > 0

@@ -1,0 +1,38 @@
+"""Tests for the consolidated experiment report."""
+
+from repro.analysis.report import build_report
+from repro.cli import main
+
+
+class TestBuildReport:
+    def test_sections_present(self):
+        text = build_report(trials=6)
+        for needle in (
+            "# composite-tx experiment report",
+            "## Figures (F1–F4)",
+            "## Theorem 1 (T1)",
+            "## Theorem 2 (T2)",
+            "## Theorem 3 (T3)",
+            "## Theorem 4 (T4)",
+            "## Hierarchy (H1)",
+            "## Checker cost (P2)",
+            "## Ablation (A1)",
+        ):
+            assert needle in text
+
+    def test_verdicts_recorded(self):
+        text = build_report(trials=6)
+        assert "NOT Comp-C" in text  # figure 3
+        assert "containment violations: **0**" in text
+
+    def test_protocols_optional(self):
+        without = build_report(trials=4)
+        assert "Protocols on the join" not in without
+
+
+class TestCliReport:
+    def test_report_command(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        assert main(["report", "-o", str(out), "--trials", "4"]) == 0
+        assert "report written" in capsys.readouterr().out
+        assert out.read_text().startswith("# composite-tx experiment report")

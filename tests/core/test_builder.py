@@ -1,0 +1,173 @@
+"""Unit tests for SystemBuilder: fluent API, propagation, from_spec."""
+
+import pytest
+
+from repro.core.builder import SystemBuilder, build_system
+from repro.exceptions import ModelError
+
+
+class TestDeclaration:
+    def test_schedule_idempotent(self):
+        b = SystemBuilder().schedule("S").schedule("S")
+        b.transaction("T", "S", ["a"]).executed("S", ["a"])
+        assert b.build().order == 1
+
+    def test_duplicate_transaction_rejected(self):
+        b = SystemBuilder()
+        b.transaction("T", "S", ["a"])
+        with pytest.raises(ModelError):
+            b.transaction("T", "S2", ["b"])
+
+    def test_fluent_chaining(self):
+        sys = (
+            SystemBuilder()
+            .transaction("T1", "S", ["a"])
+            .transaction("T2", "S", ["b"])
+            .conflict("S", "a", "b")
+            .executed("S", ["a", "b"])
+            .build()
+        )
+        assert set(sys.roots) == {"T1", "T2"}
+
+    def test_conflicts_bulk(self):
+        b = SystemBuilder()
+        b.transaction("T1", "S", ["a"]).transaction("T2", "S", ["b"])
+        b.conflicts("S", [("a", "b")])
+        b.executed("S", ["a", "b"])
+        assert b.build().schedule("S").conflicting("a", "b")
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(ModelError):
+            SystemBuilder().build()
+
+    def test_unknown_execution_mode_rejected(self):
+        b = SystemBuilder()
+        with pytest.raises(ModelError):
+            b.executed("S", ["a"], mode="banana")
+
+
+class TestExecutionModes:
+    def make(self, mode):
+        b = SystemBuilder()
+        b.transaction("T1", "S", ["a"]).transaction("T2", "S", ["b"])
+        b.transaction("T3", "S", ["c"])
+        b.conflict("S", "a", "b")
+        b.executed("S", ["a", "b", "c"], mode=mode)
+        return b.build()
+
+    def test_conflicts_mode_commits_conflicting_pairs_only(self):
+        s = self.make("conflicts").schedule("S")
+        assert ("a", "b") in s.weak_output
+        assert ("b", "c") not in s.weak_output
+
+    def test_temporal_mode_commits_all(self):
+        s = self.make("temporal").schedule("S")
+        assert ("b", "c") in s.weak_output
+        assert ("a", "c") in s.weak_output  # closed
+
+
+class TestOrderPropagation:
+    def test_weak_output_becomes_callee_weak_input(self):
+        b = SystemBuilder()
+        b.transaction("T1", "Top", ["u"]).transaction("T2", "Top", ["v"])
+        b.conflict("Top", "u", "v")
+        b.executed("Top", ["u", "v"])
+        b.transaction("u", "DB", ["x"]).transaction("v", "DB", ["y"])
+        b.conflict("DB", "x", "y")
+        b.executed("DB", ["x", "y"])
+        sys = b.build()
+        assert ("u", "v") in sys.schedule("DB").weak_input
+
+    def test_strong_output_becomes_callee_strong_input(self):
+        b = SystemBuilder()
+        b.transaction("T1", "Top", ["u", "v"], strong_order=[("u", "v")])
+        b.executed("Top", ["u", "v"])
+        b.transaction("u", "DB", ["x"]).transaction("v", "DB", ["y"])
+        b.executed("DB", ["x", "y"])
+        sys = b.build()
+        assert ("u", "v") in sys.schedule("DB").strong_input
+        # and axiom 3 then forces the strong output at DB:
+        assert ("x", "y") in sys.schedule("DB").strong_output
+
+    def test_propagation_can_be_disabled(self):
+        b = SystemBuilder()
+        b.transaction("T1", "Top", ["u"]).transaction("T2", "Top", ["v"])
+        b.conflict("Top", "u", "v")
+        b.executed("Top", ["u", "v"])
+        b.transaction("u", "DB", ["x"]).transaction("v", "DB", ["y"])
+        b.executed("DB", ["x", "y"])
+        with pytest.raises(ModelError, match="4.7"):
+            b.build(propagate_orders=False)
+
+    def test_deep_propagation_through_three_levels(self):
+        b = SystemBuilder()
+        b.transaction("T1", "A", ["m1", "m2"], strong_order=[("m1", "m2")])
+        b.executed("A", ["m1", "m2"])
+        b.transaction("m1", "B", ["n1"]).transaction("m2", "B", ["n2"])
+        b.executed("B", ["n1", "n2"])
+        b.transaction("n1", "C", ["x"]).transaction("n2", "C", ["y"])
+        b.executed("C", ["x", "y"])
+        sys = b.build()
+        # Strong order cascades: T1's strong intra order sequences m1<<m2,
+        # which axiom 3 expands to n1<<n2 at B, which propagates to C.
+        assert ("n1", "n2") in sys.schedule("C").strong_input
+        assert ("x", "y") in sys.schedule("C").strong_output
+
+
+class TestFromSpec:
+    SPEC = {
+        "schedules": {
+            "Top": {
+                "transactions": {
+                    "T1": ["t11", "t12"],
+                    "T2": {"ops": ["t21"], "sequential": True},
+                },
+                "executed": ["t11", "t21", "t12"],
+            },
+            "DB": {
+                "transactions": {
+                    "t11": ["r1"],
+                    "t12": ["w1"],
+                    "t21": ["w2"],
+                },
+                "conflicts": [["r1", "w2"], ["w2", "w1"]],
+                "executed": ["r1", "w2", "w1"],
+            },
+        }
+    }
+
+    def test_round_trip(self):
+        sys = build_system(self.SPEC)
+        assert sys.order == 2
+        assert set(sys.roots) == {"T1", "T2"}
+        assert sys.schedule("DB").conflicting("r1", "w2")
+
+    def test_spec_with_explicit_orders(self):
+        spec = {
+            "schedules": {
+                "S": {
+                    "transactions": {
+                        "T1": {"ops": ["a", "b"], "weak": [["a", "b"]]},
+                        "T2": ["c"],
+                    },
+                    "conflicts": [["b", "c"]],
+                    "weak_output": [["a", "b"], ["b", "c"]],
+                    "weak_input": [["T1", "T2"]],
+                }
+            }
+        }
+        sys = build_system(spec)
+        assert ("T1", "T2") in sys.schedule("S").weak_input
+
+    def test_spec_executed_mode(self):
+        spec = {
+            "schedules": {
+                "S": {
+                    "transactions": {"T1": ["a"], "T2": ["b"]},
+                    "executed": ["a", "b"],
+                    "executed_mode": "temporal",
+                }
+            }
+        }
+        sys = build_system(spec)
+        assert ("a", "b") in sys.schedule("S").weak_output

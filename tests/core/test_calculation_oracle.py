@@ -1,0 +1,97 @@
+"""Property test: the polynomial isolation test (quotient acyclicity)
+agrees with an exhaustive search for a contiguous linearization.
+
+Def. 16 step 1 asks whether the front can be re-ordered so that every
+group is contiguous while all forced constraints are respected.  The
+engine decides this via quotient acyclicity; here we cross-validate
+against a brute-force oracle that enumerates every linear extension of
+the constraints and looks for one with all groups contiguous.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calculation import Grouping, find_isolation_failure, is_contiguous
+from repro.core.orders import Relation
+
+
+def brute_force_isolable(constraints: Relation, grouping: Grouping) -> bool:
+    """Exhaustive oracle: does a contiguous linear extension exist?"""
+    for order in constraints.all_topological_sorts():
+        if all(
+            is_contiguous(order, members)
+            for members in grouping.groups.values()
+        ):
+            return True
+    return False
+
+
+# Small random instances: up to 6 nodes, grouped into up to 3 groups.
+@st.composite
+def instances(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    nodes = [f"n{i}" for i in range(n)]
+    # random DAG edges (i < j keeps it acyclic, which Def. 16 presumes —
+    # a cyclic constraint graph fails both tests trivially)
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).filter(lambda p: p[0] < p[1]),
+            max_size=8,
+        )
+    )
+    relation = Relation(
+        [(nodes[a], nodes[b]) for a, b in edges], elements=nodes
+    )
+    assignment = draw(
+        st.lists(st.integers(min_value=0, max_value=2), min_size=n, max_size=n)
+    )
+    groups = {}
+    representative = {}
+    for node, g in zip(nodes, assignment):
+        label = f"G{g}"
+        groups.setdefault(label, []).append(node)
+        representative[node] = label
+    # Singleton "groups" behave like ungrouped survivors either way, but
+    # keep some genuinely ungrouped nodes too:
+    ungroup = draw(st.booleans())
+    if ungroup and groups:
+        label = sorted(groups)[0]
+        for node in groups.pop(label):
+            representative[node] = node
+    grouping = Grouping(level=1, representative=representative, groups=groups)
+    return relation, grouping
+
+
+@given(instances())
+@settings(max_examples=200, deadline=None)
+def test_quotient_test_matches_brute_force(instance):
+    constraints, grouping = instance
+    fast = find_isolation_failure(constraints, grouping) is None
+    slow = brute_force_isolable(constraints, grouping)
+    assert fast == slow
+
+
+def test_known_negative_example():
+    # a -> b -> c with a, c grouped and b outside: the group cannot be
+    # contiguous.
+    constraints = Relation([("a", "b"), ("b", "c")])
+    grouping = Grouping(
+        level=1,
+        representative={"a": "G", "b": "b", "c": "G"},
+        groups={"G": ["a", "c"]},
+    )
+    assert find_isolation_failure(constraints, grouping) is not None
+    assert not brute_force_isolable(constraints, grouping)
+
+
+def test_known_positive_example():
+    constraints = Relation([("a", "b"), ("b", "c")])
+    grouping = Grouping(
+        level=1,
+        representative={"a": "G", "b": "G", "c": "c"},
+        groups={"G": ["a", "b"]},
+    )
+    assert find_isolation_failure(constraints, grouping) is None
+    assert brute_force_isolable(constraints, grouping)

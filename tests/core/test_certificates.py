@@ -1,0 +1,53 @@
+"""Unit tests for rejection-certificate validation."""
+
+import pytest
+
+from repro.core.builder import SystemBuilder
+from repro.core.certificates import validate_failure_certificate
+from repro.core.reduction import reduce_to_roots
+from repro.exceptions import ReductionError
+from repro.figures import figure3_strict_variant, figure3_system, figure4_system
+
+
+class TestCalculationCertificates:
+    def test_figure3_certificate_validates(self):
+        result = reduce_to_roots(figure3_system())
+        check = validate_failure_certificate(result)
+        assert check, check.reasons
+        assert check.edges  # every quotient edge has a forced witness
+
+    def test_strict_variant_certificate_validates(self):
+        result = reduce_to_roots(figure3_strict_variant())
+        check = validate_failure_certificate(result)
+        assert check, check.reasons
+
+    def test_edges_carry_justifications(self):
+        result = reduce_to_roots(figure3_system())
+        check = validate_failure_certificate(result)
+        kinds = {kind for _a, _b, kind in check.edges}
+        assert "observed order" in kinds
+
+
+class TestCcCertificates:
+    def test_cc_failure_certificate_validates(self):
+        b = SystemBuilder()
+        b.transaction("T1", "Top", ["u"])
+        b.transaction("T2", "Top", ["v"])
+        b.conflict("Top", "u", "v")
+        b.executed("Top", ["u", "v"])
+        b.transaction("u", "DB", ["x"])
+        b.transaction("v", "DB", ["y"])
+        b.conflict("DB", "x", "y")
+        b.executed("DB", ["y", "x"])
+        sys = b.build(validate=False)
+        result = reduce_to_roots(sys)
+        assert result.failure.stage == "cc"
+        check = validate_failure_certificate(result)
+        assert check, check.reasons
+
+
+class TestMisuse:
+    def test_successful_reduction_has_no_certificate(self):
+        result = reduce_to_roots(figure4_system())
+        with pytest.raises(ReductionError):
+            validate_failure_certificate(result)

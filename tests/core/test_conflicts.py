@@ -1,0 +1,69 @@
+"""Unit tests for the generalized conflict relation (Def. 11)."""
+
+from repro.core.builder import SystemBuilder
+from repro.core.conflicts import (
+    conflict_digest,
+    conflict_pairs,
+    generalized_conflict,
+    iter_schedule_conflicts,
+)
+from repro.core.orders import Relation
+
+
+def system():
+    b = SystemBuilder()
+    b.transaction("T1", "Top", ["u"]).transaction("T2", "Top", ["v"])
+    b.conflict("Top", "u", "v")
+    b.executed("Top", ["u", "v"])
+    b.transaction("u", "L", ["x"]).transaction("v", "R", ["y"])
+    b.executed("L", ["x"]).executed("R", ["y"])
+    return b.build()
+
+
+class TestGeneralizedConflict:
+    def test_same_schedule_uses_local_predicate(self):
+        sys = system()
+        obs = Relation()
+        assert generalized_conflict(sys, obs, "u", "v")
+
+    def test_same_schedule_non_conflicting(self):
+        b = SystemBuilder()
+        b.transaction("T1", "S", ["a"]).transaction("T2", "S", ["b"])
+        b.executed("S", ["a", "b"])
+        sys = b.build()
+        # even if the observed order relates them, the schedule's verdict
+        # is authoritative for its own operations (Def. 11.1)
+        obs = Relation([("a", "b")])
+        assert not generalized_conflict(sys, obs, "a", "b")
+
+    def test_cross_schedule_conflicts_iff_observed(self):
+        sys = system()
+        assert not generalized_conflict(sys, Relation(), "x", "y")
+        assert generalized_conflict(sys, Relation([("x", "y")]), "x", "y")
+        assert generalized_conflict(sys, Relation([("y", "x")]), "x", "y")
+
+    def test_irreflexive(self):
+        sys = system()
+        assert not generalized_conflict(sys, Relation([("x", "x")]), "x", "x")
+
+
+class TestHelpers:
+    def test_conflict_pairs(self):
+        sys = system()
+        obs = Relation([("x", "y")])
+        pairs = conflict_pairs(sys, obs, ["x", "y", "u", "v"])
+        assert frozenset(("x", "y")) in pairs
+        assert frozenset(("u", "v")) in pairs
+
+    def test_conflict_digest_sources(self):
+        sys = system()
+        obs = Relation([("x", "y")])
+        digest = dict(
+            ((a, b), src) for a, b, src in conflict_digest(sys, obs, ["x", "y", "u", "v"])
+        )
+        assert digest[("x", "y")] == "observed"
+        assert digest[("u", "v")] == "Top"
+
+    def test_iter_schedule_conflicts(self):
+        sys = system()
+        assert ("Top", "u", "v") in list(iter_schedule_conflicts(sys))

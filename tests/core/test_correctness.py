@@ -1,0 +1,75 @@
+"""Unit tests for the public Comp-C entry points."""
+
+from repro.core.correctness import (
+    check_composite_correctness,
+    is_composite_correct,
+)
+from repro.core.observed import ObservedOrderOptions
+from repro.figures import (
+    figure1_system,
+    figure2_system,
+    figure3_strict_variant,
+    figure3_system,
+    figure4_system,
+)
+
+
+class TestVerdicts:
+    def test_figure1_correct(self):
+        report = check_composite_correctness(figure1_system())
+        assert report.correct
+        assert set(report.serial_witness) == {"T1", "T2", "T3", "T4", "T5"}
+
+    def test_figure2_correct(self):
+        assert is_composite_correct(figure2_system())
+
+    def test_figure3_incorrect(self):
+        report = check_composite_correctness(figure3_system())
+        assert not report.correct
+        assert report.serial_witness is None
+        assert report.failure is not None
+
+    def test_figure4_correct(self):
+        assert is_composite_correct(figure4_system())
+
+    def test_strict_variant_incorrect(self):
+        assert not is_composite_correct(figure3_strict_variant())
+
+
+class TestReport:
+    def test_levels_completed(self):
+        good = check_composite_correctness(figure1_system())
+        assert good.levels_completed == 3
+        bad = check_composite_correctness(figure3_system())
+        assert bad.levels_completed == 2  # failed constructing level 3
+
+    def test_fronts_exposed(self):
+        report = check_composite_correctness(figure1_system())
+        assert len(report.fronts) == 4
+
+    def test_narrative_is_printable(self):
+        report = check_composite_correctness(figure3_system())
+        text = report.narrative()
+        assert "composite system of order 3" in text
+        assert "REJECTED" in text
+
+    def test_repr(self):
+        assert "Comp-C" in repr(check_composite_correctness(figure1_system()))
+        assert "NOT Comp-C" in repr(
+            check_composite_correctness(figure3_system())
+        )
+
+    def test_serial_witness_respects_observed_order(self):
+        report = check_composite_correctness(figure1_system())
+        order = report.serial_witness
+        final = report.fronts[-1]
+        position = {t: i for i, t in enumerate(order)}
+        for a, b in final.observed.pairs():
+            assert position[a] < position[b]
+
+
+class TestOptionsPlumb:
+    def test_options_reach_the_engine(self):
+        opts = ObservedOrderOptions(forget_nonconflicting=False)
+        assert not is_composite_correct(figure4_system(), opts)
+        assert is_composite_correct(figure4_system())

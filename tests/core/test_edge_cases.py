@@ -1,0 +1,125 @@
+"""Edge-case and error-path coverage across the core."""
+
+import pytest
+
+from repro.core.builder import SystemBuilder
+from repro.core.orders import Relation
+from repro.core.reduction import ReductionResult, reduce_to_roots
+from repro.core.observed import ObservedOrderOptions
+from repro.exceptions import (
+    CompositeTxError,
+    CycleError,
+    ModelError,
+    ParseError,
+    ReductionError,
+    ScheduleAxiomError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.figures import figure1_system
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_base(self):
+        for exc in (
+            ModelError,
+            CycleError,
+            ScheduleAxiomError,
+            ReductionError,
+            SimulationError,
+            WorkloadError,
+            ParseError,
+        ):
+            assert issubclass(exc, CompositeTxError)
+
+    def test_cycle_error_carries_witness(self):
+        err = CycleError("boom", ["a", "b", "a"])
+        assert err.cycle == ["a", "b", "a"]
+        assert "a -> b -> a" in str(err)
+
+    def test_axiom_error_carries_axiom(self):
+        err = ScheduleAxiomError("1c", "details")
+        assert err.axiom == "1c"
+        assert "1c" in str(err)
+
+    def test_parse_error_location(self):
+        assert ParseError("bad", line=7).line == 7
+        assert "line 7" in str(ParseError("bad", line=7))
+        assert ParseError("bad").line is None
+
+
+class TestRelationEdgeCases:
+    def test_heterogeneous_elements_sort_deterministically(self):
+        r = Relation(elements=[2, "a", 1, "b"])
+        assert r.topological_sort() == r.topological_sort()
+
+    def test_mixed_type_pairs(self):
+        r = Relation([(1, "x"), ("x", 2)])
+        assert r.reaches(1, 2)
+
+    def test_restrict_to_empty(self):
+        r = Relation([("a", "b")])
+        sub = r.restricted_to(set())
+        assert len(sub) == 0
+        assert sub.elements == ()
+
+    def test_is_total_over_singleton(self):
+        assert Relation().is_total_over(["a"])
+
+    def test_union_of_nothing(self):
+        r = Relation([("a", "b")])
+        assert r.union() == r
+
+
+class TestDegenerateSystems:
+    def test_single_transaction_single_op(self):
+        b = SystemBuilder()
+        b.transaction("T", "S", ["a"]).executed("S", ["a"])
+        result = reduce_to_roots(b.build())
+        assert result.succeeded
+        assert result.serial_order() == ["T"]
+
+    def test_transaction_with_no_operations(self):
+        b = SystemBuilder()
+        b.transaction("T", "S", []).transaction("U", "S", ["a"])
+        b.executed("S", ["a"])
+        result = reduce_to_roots(b.build())
+        assert result.succeeded
+        assert set(result.final_front.nodes) == {"T", "U"}
+
+    def test_deep_linear_chain(self):
+        b = SystemBuilder()
+        depth = 12
+        for level in range(depth, 0, -1):
+            child = f"n{level - 1}" if level > 1 else "leaf"
+            b.transaction(f"n{level}", f"S{level}", [child])
+            b.executed(f"S{level}", [child])
+        sys = b.build()
+        assert sys.order == depth
+        result = reduce_to_roots(sys)
+        assert result.succeeded
+        assert len(result.fronts) == depth + 1
+
+    def test_many_independent_roots(self):
+        b = SystemBuilder()
+        for i in range(20):
+            b.transaction(f"T{i}", "S", [f"o{i}"])
+        b.executed("S", [f"o{i}" for i in range(20)])
+        result = reduce_to_roots(b.build())
+        assert result.succeeded
+        assert len(result.final_front.nodes) == 20
+
+
+class TestResultMisuse:
+    def test_final_front_of_empty_result(self):
+        empty = ReductionResult(
+            system=figure1_system(), options=ObservedOrderOptions()
+        )
+        with pytest.raises(ReductionError):
+            empty.final_front
+
+    def test_run_is_repeatable_on_same_engine_inputs(self):
+        sys = figure1_system()
+        assert reduce_to_roots(sys).serial_order() == reduce_to_roots(
+            sys
+        ).serial_order()

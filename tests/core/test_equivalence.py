@@ -1,0 +1,116 @@
+"""Tests for cross-system equivalence (Def. 18 across structures)."""
+
+import pytest
+
+from repro.core.builder import SystemBuilder
+from repro.core.equivalence import (
+    abstracts_to_flat,
+    front_at_level,
+    level_equivalent_systems,
+    rename_front,
+    root_behaviour,
+)
+from repro.exceptions import ReductionError
+from repro.figures import figure3_system, figure4_system
+
+
+def deep_system(db_exec=("x", "y")):
+    """Two roots, work delegated through a mid layer to a DB."""
+    b = SystemBuilder()
+    b.transaction("T1", "Top", ["u"])
+    b.transaction("T2", "Top", ["v"])
+    b.conflict("Top", "u", "v")
+    b.executed("Top", ["u", "v"])
+    b.transaction("u", "DB", ["x"])
+    b.transaction("v", "DB", ["y"])
+    b.conflict("DB", "x", "y")
+    b.executed("DB", list(db_exec))
+    return b.build()
+
+
+def flat_system(order=("a", "b")):
+    """The same two roots doing the work directly on one schedule."""
+    b = SystemBuilder()
+    b.transaction("T1", "S", ["a"])
+    b.transaction("T2", "S", ["b"])
+    b.conflict("S", "a", "b")
+    b.executed("S", list(order))
+    return b.build()
+
+
+class TestFrontAtLevel:
+    def test_levels_accessible(self):
+        sys = deep_system()
+        f1 = front_at_level(sys, 1)
+        assert set(f1.nodes) == {"u", "v"}
+        f2 = front_at_level(sys, 2)
+        assert set(f2.nodes) == {"T1", "T2"}
+
+    def test_level_beyond_order_rejected(self):
+        with pytest.raises(ReductionError):
+            front_at_level(deep_system(), 5)
+
+    def test_incorrect_execution_has_no_root_front(self):
+        with pytest.raises(ReductionError):
+            front_at_level(figure3_system(), 3)
+
+
+class TestRenameFront:
+    def test_rename(self):
+        front = front_at_level(flat_system(), 1)
+        renamed = rename_front(front, {"T1": "A", "T2": "B"})
+        assert set(renamed.nodes) == {"A", "B"}
+        assert ("A", "B") in renamed.observed
+
+    def test_collapsing_rename_rejected(self):
+        front = front_at_level(flat_system(), 1)
+        with pytest.raises(ValueError):
+            rename_front(front, {"T1": "T2"})
+
+
+class TestCrossSystemEquivalence:
+    def test_deep_equals_flat_with_same_effect(self):
+        # Both serialize T1 before T2: same root front, despite one
+        # system being two levels deeper.
+        assert level_equivalent_systems(
+            deep_system(("x", "y")), 2, flat_system(("a", "b")), 1
+        )
+        assert abstracts_to_flat(deep_system(("x", "y")), flat_system(("a", "b")))
+
+    def test_opposite_effects_differ(self):
+        assert not level_equivalent_systems(
+            deep_system(("x", "y")), 2, flat_system(("b", "a")), 1
+        )
+
+    def test_failed_execution_is_equivalent_to_nothing(self):
+        assert not level_equivalent_systems(
+            figure3_system(), 3, flat_system(), 1
+        )
+
+    def test_rename_bridges_node_identities(self):
+        b = SystemBuilder()
+        b.transaction("P", "S", ["a"]).transaction("Q", "S", ["b"])
+        b.conflict("S", "a", "b")
+        b.executed("S", ["a", "b"])
+        other = b.build()
+        assert level_equivalent_systems(
+            flat_system(), 1, other, 1, rename={"T1": "P", "T2": "Q"}
+        )
+
+    def test_flat_reference_enforced(self):
+        with pytest.raises(ValueError):
+            abstracts_to_flat(deep_system(), deep_system())
+
+
+class TestRootBehaviour:
+    def test_digest_of_correct_execution(self):
+        digest = root_behaviour(deep_system())
+        assert digest["nodes"] == ["T1", "T2"]
+        assert ("T1", "T2") in digest["observed"]
+
+    def test_digest_of_incorrect_execution_is_none(self):
+        assert root_behaviour(figure3_system()) is None
+
+    def test_figure4_digest_has_no_observed_pairs(self):
+        digest = root_behaviour(figure4_system())
+        assert digest["observed"] == []

@@ -1,0 +1,86 @@
+"""Unit tests for fronts: CC (Def. 13), seriality (Def. 17)."""
+
+import pytest
+
+from repro.core.front import Front, ReductionFailure
+from repro.core.orders import Relation
+
+
+def front(nodes, obs=(), weak=(), strong=(), level=1):
+    return Front(
+        level=level,
+        nodes=tuple(nodes),
+        observed=Relation(obs, elements=nodes),
+        input_weak=Relation(weak, elements=nodes),
+        input_strong=Relation(strong, elements=nodes),
+    )
+
+
+class TestConstruction:
+    def test_relation_over_foreign_node_rejected(self):
+        with pytest.raises(ValueError):
+            front(["a"], obs=[("a", "zzz")])
+
+    def test_repr(self):
+        f = front(["a", "b"], obs=[("a", "b")])
+        assert "level=1" in repr(f)
+
+
+class TestConflictConsistency:
+    def test_acyclic_front_is_cc(self):
+        f = front(["a", "b", "c"], obs=[("a", "b")], weak=[("b", "c")])
+        assert f.is_conflict_consistent()
+        assert f.consistency_violation() is None
+
+    def test_cycle_across_obs_and_input_detected(self):
+        f = front(["a", "b"], obs=[("a", "b")], weak=[("b", "a")])
+        assert not f.is_conflict_consistent()
+        cycle = f.consistency_violation()
+        assert cycle[0] == cycle[-1]
+
+    def test_combined_order_unions_both(self):
+        f = front(["a", "b", "c"], obs=[("a", "b")], weak=[("b", "c")])
+        combined = f.combined_order()
+        assert ("a", "b") in combined and ("b", "c") in combined
+
+
+class TestSeriality:
+    def test_serial_front(self):
+        f = front(
+            ["a", "b"],
+            strong=[("a", "b")],
+            weak=[("a", "b")],
+        )
+        assert f.is_serial()
+
+    def test_non_total_strong_order_is_not_serial(self):
+        assert not front(["a", "b"]).is_serial()
+
+    def test_singleton_front_is_serial(self):
+        assert front(["a"]).is_serial()
+
+    def test_serialization_respects_relations(self):
+        f = front(["a", "b", "c"], obs=[("c", "a")], weak=[("a", "b")])
+        order = f.serialization()
+        assert order.index("c") < order.index("a") < order.index("b")
+
+    def test_as_serial_front(self):
+        f = front(["a", "b", "c"], obs=[("c", "a")])
+        serial = f.as_serial_front()
+        assert serial.is_serial()
+        assert serial.is_conflict_consistent()
+        assert ("c", "a") in serial.input_strong
+        assert set(serial.nodes) == set(f.nodes)
+
+
+class TestReductionFailure:
+    def test_describe_calculation(self):
+        failure = ReductionFailure(
+            level=2, stage="calculation", cycle=["T1", "T2", "T1"], blocked=("T1",)
+        )
+        text = failure.describe()
+        assert "level 2" in text and "T1" in text and "calculation" in text
+
+    def test_describe_cc(self):
+        failure = ReductionFailure(level=1, stage="cc", cycle=["a", "b", "a"])
+        assert "not CC" in failure.describe()

@@ -1,0 +1,136 @@
+"""Adversarial tests for asymmetric configurations.
+
+Figure 1's point is that composite transactions have *different heights*
+and roots can live on any schedule.  These hand-built systems target the
+resulting engine subtleties: nodes that materialize early and survive
+many fronts, pairs whose endpoints are grouped at different steps
+(stepwise Def.-10.3 pull-up), and interference between a shallow root
+and a deep one.
+"""
+
+import pytest
+
+from repro.core.builder import SystemBuilder
+from repro.core.correctness import check_composite_correctness
+from repro.core.reduction import reduce_to_roots
+
+
+def shallow_vs_deep(db_exec):
+    """A height-1 root (direct DB client) interfering with a height-3
+    composite transaction through the shared bottom schedule."""
+    b = SystemBuilder()
+    # Deep composite transaction: T1 via Mid via DB (two separate visits).
+    b.transaction("T1", "Top", ["m1", "m2"])
+    b.executed("Top", ["m1", "m2"])
+    b.transaction("m1", "Mid", ["d1"])
+    b.transaction("m2", "Mid", ["d2"])
+    b.executed("Mid", ["d1", "d2"])
+    b.transaction("d1", "DB", ["x_w"])
+    b.transaction("d2", "DB", ["y_w"])
+    # Shallow root: LOCAL is a direct transaction of the DB schedule.
+    b.transaction("LOCAL", "DB", ["x_l", "y_l"])
+    b.conflict("DB", "x_w", "x_l")
+    b.conflict("DB", "y_l", "y_w")
+    b.executed("DB", list(db_exec))
+    return b.build()
+
+
+class TestShallowVsDeep:
+    def test_structure(self):
+        sys = shallow_vs_deep(["x_w", "x_l", "y_l", "y_w"])
+        assert set(sys.roots) == {"T1", "LOCAL"}
+        assert sys.materialization_level("LOCAL") == 1
+        assert sys.grouping_level("LOCAL") is None  # kept to the end
+        assert sys.order == 3
+
+    def test_local_wholly_after_is_correct(self):
+        sys = shallow_vs_deep(["x_w", "y_w", "x_l", "y_l"])
+        report = check_composite_correctness(sys)
+        assert report.correct
+        order = report.serial_witness
+        assert order.index("T1") < order.index("LOCAL")
+
+    def test_local_wedged_inside_the_deep_root_is_incorrect(self):
+        # LOCAL reads x after T1's first visit and writes y before T1's
+        # second: T1 -> LOCAL -> T1.
+        sys = shallow_vs_deep(["x_w", "x_l", "y_l", "y_w"])
+        result = reduce_to_roots(sys)
+        assert not result.succeeded
+        assert set(result.failure.cycle) == {"T1", "LOCAL"}
+        # the shallow root survived two fronts before the clash:
+        assert all("LOCAL" in f.nodes for f in result.fronts[1:])
+
+    def test_interleaved_but_consistent_is_correct(self):
+        # LOCAL between the visits in ONE direction only.
+        sys = shallow_vs_deep(["x_w", "x_l", "y_w", "y_l"])
+        assert check_composite_correctness(sys).correct
+
+
+def uneven_fork():
+    """A root whose two branches have different heights: one leaf-level
+    call, one going through a mid schedule."""
+    b = SystemBuilder()
+    b.transaction("T1", "Top", ["shallow1", "deep1"])
+    b.transaction("T2", "Top", ["shallow2", "deep2"])
+    b.conflict("Top", "shallow1", "shallow2")
+    b.conflict("Top", "deep1", "deep2")
+    b.executed("Top", ["shallow1", "deep1", "shallow2", "deep2"])
+    b.transaction("shallow1", "FastDB", ["f1"])
+    b.transaction("shallow2", "FastDB", ["f2"])
+    b.conflict("FastDB", "f1", "f2")
+    b.transaction("deep1", "Mid", ["md1"])
+    b.transaction("deep2", "Mid", ["md2"])
+    # The Mid conflict keeps the deep dependency alive past Mid: without
+    # it Mid would vouch commutativity and forgive a SlowDB disagreement
+    # (which is correct behaviour — the forgetting rule — but not what
+    # this adversarial fixture is for).
+    b.conflict("Mid", "md1", "md2")
+    b.executed("Mid", ["md1", "md2"])
+    b.transaction("md1", "SlowDB", ["s1"])
+    b.transaction("md2", "SlowDB", ["s2"])
+    b.conflict("SlowDB", "s1", "s2")
+    return b
+
+
+class TestUnevenFork:
+    def test_consistent_branches_accepted(self):
+        b = uneven_fork()
+        b.executed("FastDB", ["f1", "f2"])
+        b.executed("SlowDB", ["s1", "s2"])
+        sys = b.build()
+        assert sys.order == 3
+        report = check_composite_correctness(sys)
+        assert report.correct
+        assert report.serial_witness == ["T1", "T2"]
+
+    def test_branches_disagreeing_rejected(self):
+        # FastDB serializes T1 first (as Top committed), SlowDB the other
+        # way: the deep branch's pull-up arrives one level later than the
+        # shallow branch's, but both reach the roots and clash.  Note the
+        # inconsistency is invisible to Def.-3 validation (Top's committed
+        # input orders are honoured pairwise), so the checker must do it.
+        b = uneven_fork()
+        b.executed("FastDB", ["f1", "f2"])
+        b.executed("SlowDB", ["s2", "s1"])
+        with pytest.raises(Exception):
+            # deep1 -> deep2 was committed by Top (conflict declared), so a
+            # compliant SlowDB cannot serialize s2 first: axiom/cycle error.
+            b.build()
+        sys = b.build(validate=False, propagate_orders=False)
+        assert not check_composite_correctness(sys).correct
+
+    def test_stepwise_pull_up_tracks_materialization(self):
+        b = uneven_fork()
+        b.executed("FastDB", ["f1", "f2"])
+        b.executed("SlowDB", ["s1", "s2"])
+        sys = b.build()
+        result = reduce_to_roots(sys)
+        # level-1 front: FastDB work already lifted to shallow*, SlowDB
+        # work lifted to md*; the shallow-deep pair is NOT yet related.
+        f1 = result.fronts[1]
+        assert ("shallow1", "shallow2") in f1.observed
+        assert ("md1", "md2") in f1.observed
+        # level-2: md* folded into deep*; shallow* survive untouched.
+        f2 = result.fronts[2]
+        assert ("deep1", "deep2") in f2.observed
+        assert ("shallow1", "shallow2") in f2.observed

@@ -1,0 +1,79 @@
+"""Unit tests for serial fronts and Def. 18–20 containment."""
+
+import pytest
+
+from repro.core.front import Front
+from repro.core.orders import Relation
+from repro.core.reduction import reduce_to_roots
+from repro.core.serial import (
+    check_containment,
+    level_equivalent,
+    serial_execution_order,
+    serial_front_of,
+    verify_theorem1_if_direction,
+)
+from repro.exceptions import ReductionError
+from repro.figures import figure1_system, figure3_system, figure4_system
+
+
+def front(nodes, obs=(), weak=(), strong=(), level=1):
+    return Front(
+        level=level,
+        nodes=tuple(nodes),
+        observed=Relation(obs, elements=nodes),
+        input_weak=Relation(weak, elements=nodes),
+        input_strong=Relation(strong, elements=nodes),
+    )
+
+
+class TestLevelEquivalence:
+    def test_identical_fronts_equivalent(self):
+        a = front(["x", "y"], obs=[("x", "y")])
+        b = front(["x", "y"], obs=[("x", "y")], level=2)
+        assert level_equivalent(a, b)  # levels may differ (Def. 18)
+
+    def test_different_observed_not_equivalent(self):
+        a = front(["x", "y"], obs=[("x", "y")])
+        b = front(["x", "y"])
+        assert not level_equivalent(a, b)
+
+
+class TestContainment:
+    def test_serial_front_contains_reduced_front(self):
+        result = reduce_to_roots(figure1_system())
+        serial = serial_front_of(result)
+        check = check_containment(result.final_front, serial)
+        assert check
+        assert check.reasons == []
+
+    def test_mismatched_nodes_fail(self):
+        a = front(["x"])
+        b = front(["x", "y"], strong=[("x", "y")], weak=[("x", "y")])
+        assert not check_containment(a, b)
+
+    def test_missing_order_fails(self):
+        a = front(["x", "y"], obs=[("y", "x")])
+        serial = front(
+            ["x", "y"], strong=[("x", "y")], weak=[("x", "y")]
+        )
+        check = check_containment(a, serial)
+        assert not check
+        assert any("observed" in r for r in check.reasons)
+
+
+class TestTheorem1Constructive:
+    def test_if_direction_on_accepted_executions(self):
+        for system in (figure1_system(), figure4_system()):
+            result = reduce_to_roots(system)
+            check = verify_theorem1_if_direction(result)
+            assert check, check.reasons
+
+    def test_serial_front_of_failure_raises(self):
+        result = reduce_to_roots(figure3_system())
+        with pytest.raises(ReductionError):
+            serial_front_of(result)
+
+    def test_serial_execution_order(self):
+        assert serial_execution_order(reduce_to_roots(figure3_system())) is None
+        order = serial_execution_order(reduce_to_roots(figure4_system()))
+        assert sorted(order) == ["T1", "T2"]

@@ -1,0 +1,137 @@
+"""End-to-end tests for *strong* orders (Def. 1's ``<<``).
+
+The figures and the random generator exercise weak orders; these tests
+cover the strong machinery: strong intra-transaction orders (axiom 2b),
+strong input orders (axiom 3 and its Def.-4.7 cascade), and their role
+in the reduction (strong input pairs always constrain calculations and
+must embed in the serial witness)."""
+
+import pytest
+
+from repro.core.builder import SystemBuilder
+from repro.core.correctness import check_composite_correctness
+from repro.core.reduction import reduce_to_roots
+from repro.exceptions import CycleError, ModelError, ScheduleAxiomError
+
+
+def two_roots(strong_pair=None, exec_top=("u", "v"), exec_db=("x", "y")):
+    b = SystemBuilder()
+    b.transaction("T1", "Top", ["u"])
+    b.transaction("T2", "Top", ["v"])
+    if strong_pair:
+        b.strong_input("Top", *strong_pair)
+    b.executed("Top", list(exec_top))
+    b.transaction("u", "DB", ["x"])
+    b.transaction("v", "DB", ["y"])
+    b.conflict("DB", "x", "y")
+    b.executed("DB", list(exec_db))
+    return b
+
+
+class TestStrongInputAtTheTop:
+    def test_strong_input_respected(self):
+        sys = two_roots(("T1", "T2")).build()
+        report = check_composite_correctness(sys)
+        assert report.correct
+        assert report.serial_witness == ["T1", "T2"]
+
+    def test_strong_input_appears_in_final_front(self):
+        sys = two_roots(("T1", "T2")).build()
+        final = reduce_to_roots(sys).final_front
+        assert ("T1", "T2") in final.input_strong
+
+    def test_contradicting_execution_rejected_at_validation(self):
+        # Strong input T2 << T1 while everything ran T1-then-T2: axiom 3
+        # demands x strongly after y, which the execution contradicts.
+        with pytest.raises((ScheduleAxiomError, CycleError)):
+            two_roots(("T2", "T1")).build()
+
+    def test_contradicting_observed_order_rejected_by_checker(self):
+        # Rogue DB: the client required T2 strongly before T1 (and the
+        # Top schedule honoured it), but the DB serialized the
+        # conflicting work T1-first.  With propagation and validation
+        # off (the rogue DB never received/checked its obligations), the
+        # checker still rejects: the pulled-up order contradicts the
+        # Top-level commitment.
+        b = SystemBuilder()
+        b.transaction("T1", "Top", ["u"])
+        b.transaction("T2", "Top", ["v"])
+        b.conflict("Top", "u", "v")
+        b.strong_input("Top", "T2", "T1")
+        b.executed("Top", ["v", "u"])  # Top honoured the strong input
+        b.transaction("u", "DB", ["x"])
+        b.transaction("v", "DB", ["y"])
+        b.conflict("DB", "x", "y")
+        b.executed("DB", ["x", "y"])  # ...the DB did not
+        sys = b.build(validate=False, propagate_orders=False)
+        assert not check_composite_correctness(sys).correct
+
+    def test_two_root_serial_front_is_serial(self):
+        sys = two_roots(("T1", "T2")).build()
+        result = reduce_to_roots(sys)
+        serial = result.final_front.as_serial_front()
+        assert serial.is_serial()
+
+
+class TestStrongIntraOrders:
+    def test_strong_intra_cascades_to_callees(self):
+        b = SystemBuilder()
+        b.transaction("T1", "Top", ["u", "v"], strong_order=[("u", "v")])
+        b.executed("Top", ["u", "v"])
+        b.transaction("u", "DB", ["x"])
+        b.transaction("v", "DB", ["y"])
+        b.executed("DB", ["x", "y"])
+        sys = b.build()
+        assert ("u", "v") in sys.schedule("DB").strong_input
+        assert ("x", "y") in sys.schedule("DB").strong_output
+        assert check_composite_correctness(sys).correct
+
+    def test_strong_intra_violation_refused(self):
+        b = SystemBuilder()
+        b.transaction("T1", "Top", ["u", "v"], strong_order=[("u", "v")])
+        b.executed("Top", ["u", "v"])
+        b.transaction("u", "DB", ["x"])
+        b.transaction("v", "DB", ["y"])
+        # DB ran y before x although u << v sequences every pair.
+        b.strong_output("DB", "y", "x")
+        b.executed("DB", ["y", "x"])
+        with pytest.raises((ScheduleAxiomError, CycleError, ModelError)):
+            b.build()
+
+    def test_sequential_transactions_end_to_end(self):
+        b = SystemBuilder()
+        b.transaction("T1", "Top", ["u", "v"], sequential=True)
+        b.transaction("T2", "Top", ["w"])
+        b.conflict("Top", "u", "w")
+        b.conflict("Top", "w", "v")
+        b.executed("Top", ["u", "w", "v"])
+        b.transaction("u", "DB", ["x1"])
+        b.transaction("v", "DB", ["x2"])
+        b.transaction("w", "DB", ["x3"])
+        b.conflict("DB", "x1", "x3")
+        b.conflict("DB", "x3", "x2")
+        b.executed("DB", ["x1", "x3", "x2"])
+        sys = b.build()
+        # w is wedged between u and v, which conflict with it at the Top
+        # level: T1 cannot be isolated.
+        assert not check_composite_correctness(sys).correct
+
+
+class TestStrongConstraintsInCalculations:
+    def test_strong_input_between_subtransactions_constrains(self):
+        # Two subtransactions of different roots with a strong input at
+        # the DB, no conflicts anywhere: the strong order alone forces
+        # the serial witness direction.
+        b = SystemBuilder()
+        b.transaction("T1", "Top", ["u"])
+        b.transaction("T2", "Top", ["v"])
+        b.strong_input("Top", "T1", "T2")
+        b.executed("Top", ["u", "v"])
+        b.transaction("u", "DB", ["x"])
+        b.transaction("v", "DB", ["y"])
+        b.executed("DB", ["x", "y"])
+        sys = b.build()
+        result = reduce_to_roots(sys)
+        assert result.succeeded
+        witness = result.serial_order()
+        assert witness.index("T1") < witness.index("T2")

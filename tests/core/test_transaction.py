@@ -1,0 +1,95 @@
+"""Unit tests for Def.-2 transactions."""
+
+import pytest
+
+from repro.core.transaction import Transaction
+from repro.exceptions import CycleError, ModelError
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = Transaction("T", ["a", "b", "c"])
+        assert t.operations == ("a", "b", "c")
+        assert len(t) == 3
+        assert not t.weakly_ordered("a", "b")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            Transaction("", ["a"])
+
+    def test_duplicate_operations_rejected(self):
+        with pytest.raises(ModelError):
+            Transaction("T", ["a", "a"])
+
+    def test_self_containment_rejected(self):
+        with pytest.raises(ModelError):
+            Transaction("T", ["T"])
+
+    def test_order_over_unknown_op_rejected(self):
+        with pytest.raises(ModelError):
+            Transaction("T", ["a"], weak_order=[("a", "zzz")])
+        with pytest.raises(ModelError):
+            Transaction("T", ["a"], strong_order=[("zzz", "a")])
+
+    def test_cyclic_weak_order_rejected(self):
+        with pytest.raises(CycleError):
+            Transaction("T", ["a", "b"], weak_order=[("a", "b"), ("b", "a")])
+
+    def test_empty_operations_allowed(self):
+        # Degenerate but legal: a transaction that did nothing.
+        t = Transaction("T", [])
+        assert t.operations == ()
+
+
+class TestOrders:
+    def test_strong_implies_weak(self):
+        t = Transaction("T", ["a", "b"], strong_order=[("a", "b")])
+        assert t.strongly_ordered("a", "b")
+        assert t.weakly_ordered("a", "b")
+
+    def test_weak_does_not_imply_strong(self):
+        t = Transaction("T", ["a", "b"], weak_order=[("a", "b")])
+        assert t.weakly_ordered("a", "b")
+        assert not t.strongly_ordered("a", "b")
+
+    def test_orders_transitively_closed(self):
+        t = Transaction(
+            "T", ["a", "b", "c"], weak_order=[("a", "b"), ("b", "c")]
+        )
+        assert t.weakly_ordered("a", "c")
+
+    def test_sequential_flag_builds_total_strong_order(self):
+        t = Transaction("T", ["a", "b", "c"], sequential=True)
+        assert t.strongly_ordered("a", "c")
+        assert t.is_sequential()
+
+    def test_non_sequential(self):
+        t = Transaction("T", ["a", "b"])
+        assert not t.is_sequential()
+
+    def test_mixed_weak_cycle_with_strong_rejected(self):
+        with pytest.raises(CycleError):
+            Transaction(
+                "T",
+                ["a", "b"],
+                weak_order=[("b", "a")],
+                strong_order=[("a", "b")],
+            )
+
+
+class TestValueSemantics:
+    def test_equality(self):
+        a = Transaction("T", ["x", "y"], weak_order=[("x", "y")])
+        b = Transaction("T", ["x", "y"], weak_order=[("x", "y")])
+        assert a == b
+
+    def test_inequality_on_orders(self):
+        a = Transaction("T", ["x", "y"], weak_order=[("x", "y")])
+        b = Transaction("T", ["x", "y"])
+        assert a != b
+
+    def test_hashable(self):
+        assert {Transaction("T", ["x"])}
+
+    def test_repr_mentions_name(self):
+        assert "T9" in repr(Transaction("T9", ["x"]))

@@ -1,0 +1,44 @@
+"""Smoke tests: every example script runs green and prints its story."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must narrate their results"
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "paper_figures.py",
+        "federated_banking.py",
+        "shared_server.py",
+        "protocol_comparison.py",
+        "criteria_zoo.py",
+    } <= names
+
+
+def test_quickstart_tells_both_stories():
+    script = next(p for p in EXAMPLES if p.name == "quickstart.py")
+    out = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True
+    ).stdout
+    assert "NOT Comp-C" in out
+    assert "serial order" in out

@@ -1,0 +1,79 @@
+"""Moderate-scale soak: the full pipeline under one larger run.
+
+A single deeper/wider simulation per safe protocol, fully checked —
+sized to finish in seconds while exercising queue depths, retries,
+garbage collection and recorder assembly well beyond the unit tests.
+"""
+
+import pytest
+
+from repro.core.certificates import validate_failure_certificate
+from repro.core.correctness import check_composite_correctness
+from repro.core.serial import verify_theorem1_if_direction
+from repro.simulator import ProgramConfig, SimulationConfig, simulate
+from repro.workloads.generator import WorkloadConfig, generate
+from repro.workloads.topologies import random_dag_topology, stack_topology
+
+
+class TestSimulationSoak:
+    @pytest.mark.parametrize("protocol", ["cc", "s2pl"])
+    def test_large_dag_run_stays_correct(self, protocol):
+        result = simulate(
+            SimulationConfig(
+                topology=random_dag_topology(3, 3, seed=11, extra_roots=2),
+                protocol=protocol,
+                clients=6,
+                transactions_per_client=10,
+                seed=42,
+                deadlock_timeout=30.0,
+                program=ProgramConfig(
+                    items_per_component=6,
+                    item_skew=0.6,
+                    calls_per_transaction=(1, 3),
+                    local_access_probability=0.2,
+                    parallel_calls=True,
+                ),
+            )
+        )
+        metrics = result.metrics
+        assert metrics.commits + metrics.gave_up == 60
+        assert metrics.commits > 0
+        assert result.assembled is not None
+        report = check_composite_correctness(result.assembled.recorded.system)
+        assert report.correct
+        assert verify_theorem1_if_direction(report.reduction)
+
+    def test_uncoordinated_run_is_fully_diagnosable(self):
+        result = simulate(
+            SimulationConfig(
+                topology=random_dag_topology(3, 3, seed=11, extra_roots=2),
+                protocol="sgt",
+                clients=6,
+                transactions_per_client=10,
+                seed=42,
+                program=ProgramConfig(
+                    items_per_component=4, item_skew=0.9
+                ),
+            )
+        )
+        report = check_composite_correctness(result.assembled.recorded.system)
+        if not report.correct:
+            check = validate_failure_certificate(report.reduction)
+            assert check, check.reasons
+
+
+class TestCheckerSoak:
+    def test_wide_history(self):
+        recorded = generate(
+            stack_topology(3),
+            WorkloadConfig(
+                seed=7,
+                roots=40,
+                conflict_probability=0.02,
+                ops_per_transaction=(1, 2),
+            ),
+        )
+        report = check_composite_correctness(recorded.system)
+        assert report.levels_completed >= 0
+        if report.correct:
+            assert len(report.serial_witness) == 40

@@ -1,0 +1,83 @@
+"""Unit tests for the JSON text format."""
+
+import pytest
+
+from repro.core.correctness import check_composite_correctness
+from repro.criteria.registry import RecordedExecution
+from repro.exceptions import ParseError
+from repro.figures import figure1_system, figure3_system, figure4_system
+from repro.io.text_format import dumps, load, loads, save, system_to_spec
+from repro.workloads.generator import WorkloadConfig, generate
+from repro.workloads.topologies import stack_topology
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory", [figure1_system, figure3_system, figure4_system]
+    )
+    def test_verdict_preserved(self, factory):
+        original = factory()
+        restored = loads(dumps(original)).system
+        assert (
+            check_composite_correctness(original).correct
+            == check_composite_correctness(restored).correct
+        )
+
+    def test_structure_preserved(self):
+        original = figure1_system()
+        restored = loads(dumps(original)).system
+        assert set(restored.schedules) == set(original.schedules)
+        assert set(restored.roots) == set(original.roots)
+        assert restored.levels == original.levels
+        for name in original.schedules:
+            assert (
+                restored.schedule(name).conflicts
+                == original.schedule(name).conflicts
+            )
+            assert (
+                restored.schedule(name).weak_output
+                == original.schedule(name).weak_output
+            )
+
+    def test_recorded_execution_round_trip(self):
+        rec = generate(stack_topology(2), WorkloadConfig(seed=1))
+        restored = loads(dumps(rec))
+        assert restored.executions == {
+            k: list(v) for k, v in rec.executions.items()
+        }
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "system.json"
+        save(figure1_system(), path)
+        restored = load(path)
+        assert check_composite_correctness(restored.system).correct
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(ParseError):
+            loads("{not json")
+
+    def test_missing_schedules(self):
+        with pytest.raises(ParseError):
+            loads('{"version": 1}')
+
+    def test_wrong_version(self):
+        with pytest.raises(ParseError):
+            loads('{"version": 99, "schedules": {}}')
+
+    def test_non_object(self):
+        with pytest.raises(ParseError):
+            loads("[1, 2, 3]")
+
+
+class TestSpec:
+    def test_system_to_spec_shape(self):
+        spec = system_to_spec(figure1_system())
+        assert spec["version"] == 1
+        assert "SA" in spec["schedules"]
+        sa = spec["schedules"]["SA"]
+        assert "transactions" in sa and "conflicts" in sa
+
+    def test_dumps_is_deterministic(self):
+        assert dumps(figure1_system()) == dumps(figure1_system())

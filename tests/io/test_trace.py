@@ -1,0 +1,62 @@
+"""Tests for the reduction-trace exporter."""
+
+import json
+
+from repro.cli import main
+from repro.core.reduction import reduce_to_roots
+from repro.figures import figure1_system, figure3_system
+from repro.io import save
+from repro.io.trace import dumps_trace, save_trace, trace_to_dict
+
+
+class TestTraceDict:
+    def test_accepted_trace(self):
+        result = reduce_to_roots(figure1_system())
+        doc = trace_to_dict(result)
+        assert doc["succeeded"] is True
+        assert doc["order"] == 3
+        assert len(doc["fronts"]) == 4
+        assert doc["serial_witness"]
+        assert "failure" not in doc
+        assert len(doc["witnesses"]) == 3
+
+    def test_rejected_trace(self):
+        result = reduce_to_roots(figure3_system())
+        doc = trace_to_dict(result)
+        assert doc["succeeded"] is False
+        assert doc["failure"]["level"] == 3
+        assert doc["failure"]["stage"] == "calculation"
+        assert doc["failure"]["cycle"][0] == doc["failure"]["cycle"][-1]
+
+    def test_front_payload(self):
+        result = reduce_to_roots(figure1_system())
+        front = trace_to_dict(result)["fronts"][0]
+        assert set(front) == {
+            "level",
+            "nodes",
+            "observed",
+            "input_weak",
+            "input_strong",
+            "conflict_consistent",
+        }
+        assert front["conflict_consistent"] is True
+
+    def test_json_round_trips(self):
+        result = reduce_to_roots(figure3_system())
+        text = dumps_trace(result)
+        assert json.loads(text)["failure"]["description"]
+
+    def test_save_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(reduce_to_roots(figure1_system()), path)
+        assert json.loads(path.read_text())["succeeded"] is True
+
+
+class TestCliTrace:
+    def test_check_with_trace(self, tmp_path, capsys):
+        source = tmp_path / "fig3.json"
+        save(figure3_system(), source)
+        trace = tmp_path / "trace.json"
+        assert main(["check", str(source), "--trace", str(trace)]) == 0
+        assert "trace written" in capsys.readouterr().out
+        assert json.loads(trace.read_text())["succeeded"] is False

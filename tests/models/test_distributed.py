@@ -1,0 +1,92 @@
+"""Tests for the distributed-transaction (fork) model."""
+
+import pytest
+
+from repro.core.correctness import check_composite_correctness
+from repro.criteria import is_fcc, is_fork
+from repro.exceptions import ModelError, ScheduleAxiomError
+from repro.models.distributed import (
+    GlobalTransaction,
+    build_distributed_system,
+)
+
+
+def transfers():
+    t1 = GlobalTransaction("T1").work("RM1", ("x", "r"), ("x", "w")).work(
+        "RM2", ("y", "w")
+    )
+    t2 = GlobalTransaction("T2").work("RM1", ("x", "w")).work(
+        "RM2", ("y", "r"), ("y", "w")
+    )
+    return [t1, t2]
+
+
+class TestBuild:
+    def test_structure_is_a_fork(self):
+        system = build_distributed_system(
+            transfers(),
+            {"RM1": ["T1", "T2"], "RM2": ["T1", "T2"]},
+        )
+        assert is_fork(system)
+        assert set(system.roots) == {"T1", "T2"}
+
+    def test_visit_twice_rejected(self):
+        bad = GlobalTransaction("T1").work("RM1", ("x", "r")).work(
+            "RM1", ("x", "w")
+        )
+        with pytest.raises(ModelError):
+            build_distributed_system([bad], {"RM1": ["T1"]})
+
+    def test_unknown_visit_in_order_rejected(self):
+        with pytest.raises(ModelError):
+            build_distributed_system(
+                transfers(), {"RM1": ["T1", "T2", "T3"], "RM2": ["T1", "T2"]}
+            )
+
+
+class TestVerdicts:
+    def test_agreeing_managers_correct(self):
+        system = build_distributed_system(
+            transfers(), {"RM1": ["T1", "T2"], "RM2": ["T1", "T2"]}
+        )
+        report = check_composite_correctness(system)
+        assert report.correct
+        assert is_fcc(system) == report.correct
+
+    def test_disagreeing_managers_forgiven_when_commuting(self):
+        # The coordinator declares no conflicts: the transfers commute as
+        # wholes, so opposite serializations are fine (Def. 23.3).
+        system = build_distributed_system(
+            transfers(), {"RM1": ["T1", "T2"], "RM2": ["T2", "T1"]}
+        )
+        assert check_composite_correctness(system).correct
+
+    def test_disagreeing_managers_rejected_when_conflicting(self):
+        # Declaring the coordinator-level conflict makes the coordinator
+        # order the transfers; a compliant manager cannot serialize the
+        # other way (axiom 1a), so the model is refused outright.
+        with pytest.raises(ScheduleAxiomError):
+            build_distributed_system(
+                transfers(),
+                {"RM1": ["T1", "T2"], "RM2": ["T2", "T1"]},
+                coordinator_conflicts=[("T1", "T2")],
+            )
+        # A rogue manager's history is caught by the checker instead.
+        system = build_distributed_system(
+            transfers(),
+            {"RM1": ["T1", "T2"], "RM2": ["T2", "T1"]},
+            coordinator_conflicts=[("T1", "T2")],
+            validate=False,
+        )
+        assert not check_composite_correctness(system).correct
+
+    def test_theorem3_on_model_instances(self):
+        for orders in (
+            {"RM1": ["T1", "T2"], "RM2": ["T1", "T2"]},
+            {"RM1": ["T2", "T1"], "RM2": ["T2", "T1"]},
+            {"RM1": ["T1", "T2"], "RM2": ["T2", "T1"]},
+        ):
+            system = build_distributed_system(transfers(), orders)
+            assert is_fcc(system) == check_composite_correctness(
+                system
+            ).correct

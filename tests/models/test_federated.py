@@ -1,0 +1,123 @@
+"""Tests for the federated-transactions model and the ticket method."""
+
+import pytest
+
+from repro.core.correctness import check_composite_correctness
+from repro.exceptions import ModelError
+from repro.models.federated import (
+    GlobalWork,
+    LocalWork,
+    build_federated_system,
+    with_tickets,
+)
+
+
+def globals_pair():
+    g1 = GlobalWork("G1", "ClientA").at("Site1", ("x", "w")).at(
+        "Site2", ("y", "w")
+    )
+    g2 = GlobalWork("G2", "ClientB").at("Site1", ("x", "w")).at(
+        "Site2", ("y", "w")
+    )
+    return [g1, g2]
+
+
+class TestBuild:
+    def test_structure(self):
+        system = build_federated_system(
+            globals_pair(),
+            [],
+            {"Site1": ["G1", "G2"], "Site2": ["G1", "G2"]},
+        )
+        assert set(system.roots) == {"G1", "G2"}
+        assert system.order == 2
+
+    def test_local_transactions_are_roots_on_the_site(self):
+        system = build_federated_system(
+            globals_pair(),
+            [LocalWork("L1", "Site1", (("x", "r"),))],
+            {"Site1": ["G1", "L1", "G2"], "Site2": ["G1", "G2"]},
+        )
+        assert "L1" in system.roots
+        assert system.schedule_of_transaction("L1") == "Site1"
+
+    def test_unknown_visit_rejected(self):
+        with pytest.raises(ModelError):
+            build_federated_system(
+                globals_pair(), [], {"Site1": ["G1", "G9"]}
+            )
+
+
+class TestGlobalSerializability:
+    def test_consistent_sites_accepted(self):
+        system = build_federated_system(
+            globals_pair(),
+            [],
+            {"Site1": ["G1", "G2"], "Site2": ["G1", "G2"]},
+        )
+        assert check_composite_correctness(system).correct
+
+    def test_hidden_disagreement_rejected(self):
+        # Site1 serializes G1 before G2; Site2 the opposite.  Each site
+        # is locally serializable; the composite checker sees the cycle.
+        system = build_federated_system(
+            globals_pair(),
+            [],
+            {"Site1": ["G1", "G2"], "Site2": ["G2", "G1"]},
+        )
+        assert not check_composite_correctness(system).correct
+
+    def test_local_transaction_closes_a_cycle(self):
+        # G1 -> L1 at Site1 (via x), L1 -> ... classic indirect conflict
+        # where a local transaction links two globals.
+        g1 = GlobalWork("G1", "ClientA").at("Site1", ("x", "w"))
+        g2 = GlobalWork("G2", "ClientB").at("Site1", ("z", "w")).at(
+            "Site2", ("y", "w")
+        )
+        g1.at("Site2", ("y", "w"))
+        l1 = LocalWork("L1", "Site1", (("x", "r"), ("z", "w")))
+        system = build_federated_system(
+            [g1, g2],
+            [l1],
+            # Site1: G1 -> L1 -> G2;  Site2: G2 -> G1  => global cycle
+            {"Site1": ["G1", "L1", "G2"], "Site2": ["G2", "G1"]},
+        )
+        assert not check_composite_correctness(system).correct
+
+
+class TestTicketMethod:
+    def test_tickets_add_explicit_conflicts(self):
+        ticketed = with_tickets(globals_pair())
+        assert ticketed[0].site_work["Site1"][0] == ("__ticket__", "r")
+        assert ticketed[0].site_work["Site1"][1] == ("__ticket__", "w")
+
+    def test_tickets_make_disagreement_locally_visible(self):
+        # Without tickets, two globals touching DISJOINT items at a site
+        # can be serialized in opposite orders invisibly:
+        g1 = GlobalWork("G1", "ClientA").at("Site1", ("a", "w")).at(
+            "Site2", ("c", "w")
+        )
+        g2 = GlobalWork("G2", "ClientB").at("Site1", ("b", "w")).at(
+            "Site2", ("c", "w")
+        )
+        free = build_federated_system(
+            [g1, g2], [], {"Site1": ["G1", "G2"], "Site2": ["G2", "G1"]}
+        )
+        # no conflict at Site1 at all -> only Site2 orders them -> fine:
+        assert check_composite_correctness(free).correct
+
+        # With tickets, every pair of globals conflicts at every site, so
+        # the same visit orders now assert Site1: G1<G2, Site2: G2<G1 —
+        # an explicit contradiction the checker rejects:
+        ticketed = with_tickets([g1, g2])
+        system = build_federated_system(
+            ticketed, [], {"Site1": ["G1", "G2"], "Site2": ["G2", "G1"]}
+        )
+        assert not check_composite_correctness(system).correct
+
+    def test_tickets_preserve_consistent_executions(self):
+        ticketed = with_tickets(globals_pair())
+        system = build_federated_system(
+            ticketed, [], {"Site1": ["G1", "G2"], "Site2": ["G1", "G2"]}
+        )
+        assert check_composite_correctness(system).correct

@@ -1,0 +1,114 @@
+"""Unit tests for strict two-phase locking."""
+
+from repro.schedulers.base import Decision
+from repro.schedulers.locking import StrictTwoPhaseLocking
+
+
+def make():
+    s = StrictTwoPhaseLocking("C")
+    s.begin("T1")
+    s.begin("T2")
+    return s
+
+
+class TestGrants:
+    def test_first_access_granted(self):
+        s = make()
+        assert s.request("T1", "x", "w") is Decision.GRANT
+        assert s.held_locks("T1") == {"x"}
+
+    def test_shared_readers(self):
+        s = make()
+        assert s.request("T1", "x", "r") is Decision.GRANT
+        assert s.request("T2", "x", "r") is Decision.GRANT
+
+    def test_writer_blocks_reader(self):
+        s = make()
+        s.request("T1", "x", "w")
+        assert s.request("T2", "x", "r") is Decision.BLOCK
+
+    def test_reader_blocks_writer(self):
+        s = make()
+        s.request("T1", "x", "r")
+        assert s.request("T2", "x", "w") is Decision.BLOCK
+
+    def test_reentrant_lock(self):
+        s = make()
+        s.request("T1", "x", "w")
+        assert s.request("T1", "x", "w") is Decision.GRANT
+        assert s.request("T1", "x", "r") is Decision.GRANT
+
+    def test_upgrade_by_sole_holder(self):
+        s = make()
+        s.request("T1", "x", "r")
+        assert s.request("T1", "x", "w") is Decision.GRANT
+
+    def test_no_reader_joins_once_writer_waits(self):
+        s = StrictTwoPhaseLocking("C")
+        for t in ("T1", "T2", "T3"):
+            s.begin(t)
+        s.request("T1", "x", "r")
+        assert s.request("T2", "x", "w") is Decision.BLOCK
+        assert s.request("T3", "x", "r") is Decision.BLOCK  # no starvation
+
+
+class TestRelease:
+    def test_commit_wakes_waiter(self):
+        s = make()
+        s.request("T1", "x", "w")
+        s.request("T2", "x", "w")
+        s.commit("T1")
+        assert ("T2", "x", "w") in s.drain_granted()
+        assert s.held_locks("T2") == {"x"}
+
+    def test_abort_wakes_waiter(self):
+        s = make()
+        s.request("T1", "x", "w")
+        s.request("T2", "x", "r")
+        s.abort("T1")
+        assert ("T2", "x", "r") in s.drain_granted()
+
+    def test_multiple_readers_woken_together(self):
+        s = StrictTwoPhaseLocking("C")
+        for t in ("T1", "T2", "T3"):
+            s.begin(t)
+        s.request("T1", "x", "w")
+        s.request("T2", "x", "r")
+        s.request("T3", "x", "r")
+        s.commit("T1")
+        woken = {t for t, _i, _m in s.drain_granted()}
+        assert woken == {"T2", "T3"}
+
+    def test_drain_is_consumed(self):
+        s = make()
+        s.request("T1", "x", "w")
+        s.request("T2", "x", "w")
+        s.commit("T1")
+        assert s.drain_granted()
+        assert s.drain_granted() == []
+
+
+class TestDeadlock:
+    def test_local_deadlock_aborts_requester(self):
+        s = make()
+        s.request("T1", "x", "w")
+        s.request("T2", "y", "w")
+        assert s.request("T2", "x", "w") is Decision.BLOCK
+        assert s.request("T1", "y", "w") is Decision.ABORT
+
+    def test_no_false_deadlock(self):
+        s = StrictTwoPhaseLocking("C")
+        for t in ("T1", "T2", "T3"):
+            s.begin(t)
+        s.request("T1", "x", "w")
+        assert s.request("T2", "x", "w") is Decision.BLOCK
+        assert s.request("T3", "y", "w") is Decision.GRANT
+
+    def test_abort_clears_waits_for(self):
+        s = make()
+        s.request("T1", "x", "w")
+        s.request("T2", "y", "w")
+        s.request("T2", "x", "w")  # T2 waits for T1
+        s.abort("T2")
+        # T1 can now take y without tripping a stale edge.
+        assert s.request("T1", "y", "w") is Decision.GRANT

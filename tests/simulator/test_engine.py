@@ -1,0 +1,145 @@
+"""Integration tests for the simulation engine."""
+
+import pytest
+
+from repro.core.correctness import check_composite_correctness
+from repro.simulator import ProgramConfig, SimulationConfig, simulate
+from repro.simulator.metrics import Metrics
+from repro.workloads.topologies import (
+    fork_topology,
+    join_topology,
+    stack_topology,
+)
+
+
+def run(topology, protocol="cc", seed=0, clients=3, txns=5, **program_kw):
+    cfg = SimulationConfig(
+        topology=topology,
+        protocol=protocol,
+        clients=clients,
+        transactions_per_client=txns,
+        seed=seed,
+        program=ProgramConfig(items_per_component=4, **program_kw),
+    )
+    return simulate(cfg)
+
+
+class TestBasicRuns:
+    def test_all_roots_complete(self):
+        res = run(stack_topology(2))
+        m = res.metrics
+        assert m.commits + m.gave_up == 15
+
+    def test_deterministic_given_seed(self):
+        a = run(fork_topology(2), seed=11)
+        b = run(fork_topology(2), seed=11)
+        assert a.metrics.summary() == b.metrics.summary()
+        assert (
+            a.assembled.recorded.executions
+            == b.assembled.recorded.executions
+        )
+
+    def test_different_seeds_differ(self):
+        a = run(fork_topology(2), seed=1)
+        b = run(fork_topology(2), seed=2)
+        assert a.metrics.operations != b.metrics.operations or (
+            a.assembled.recorded.executions
+            != b.assembled.recorded.executions
+        )
+
+    def test_single_client_is_serial_and_correct(self):
+        res = run(join_topology(2), protocol="sgt", clients=1, txns=6)
+        assert res.metrics.commits == 6
+        assert res.metrics.abort_rate == 0.0
+        report = check_composite_correctness(res.assembled.recorded.system)
+        assert report.correct
+
+    def test_metrics_consistency(self):
+        res = run(stack_topology(2), protocol="s2pl", seed=3)
+        m = res.metrics
+        assert m.attempts >= m.commits
+        assert m.end_time > 0
+        assert m.throughput > 0
+        summary = m.summary()
+        assert summary["commits"] == m.commits
+
+
+class TestRecorderIntegration:
+    def test_recorded_system_matches_topology(self):
+        res = run(stack_topology(3))
+        system = res.assembled.recorded.system
+        assert set(system.schedules) <= {"L1", "L2", "L3"}
+        assert system.order <= 3
+
+    def test_committed_roots_counted(self):
+        res = run(fork_topology(2))
+        assert len(res.assembled.committed_roots) == res.metrics.commits
+
+    def test_axiom_validity_of_cc_runs(self):
+        res = run(join_topology(3), protocol="cc", seed=5)
+        assert res.assembled.axiom_violation is None
+
+
+class TestProtocolGuarantees:
+    @pytest.mark.parametrize("protocol", ["cc", "s2pl"])
+    @pytest.mark.parametrize(
+        "topology",
+        [stack_topology(2), fork_topology(3), join_topology(3)],
+        ids=["stack", "fork", "join"],
+    )
+    def test_safe_protocols_always_comp_c(self, protocol, topology):
+        for seed in range(3):
+            res = run(topology, protocol=protocol, seed=seed, item_skew=0.9)
+            if res.assembled is None:
+                continue
+            report = check_composite_correctness(
+                res.assembled.recorded.system
+            )
+            assert report.correct, (protocol, seed)
+
+    def test_sgt_violates_comp_c_on_joins(self):
+        # The headline negative result: an uncoordinated optimistic
+        # scheduler commits a non-Comp-C execution through the shared
+        # server on at least one seed.
+        violations = 0
+        for seed in range(8):
+            res = run(
+                join_topology(3), protocol="sgt", seed=seed, item_skew=0.9,
+                clients=4,
+            )
+            if res.assembled is None:
+                continue
+            if not check_composite_correctness(
+                res.assembled.recorded.system
+            ).correct:
+                violations += 1
+        assert violations > 0
+
+    def test_mixed_protocols_per_component(self):
+        cfg = SimulationConfig(
+            topology=fork_topology(2),
+            protocol={"F": "cc", "B1": "s2pl", "B2": "sgt"},
+            clients=2,
+            transactions_per_client=4,
+            seed=0,
+        )
+        res = simulate(cfg)
+        assert res.metrics.commits > 0
+
+
+class TestMetricsUnit:
+    def test_percentiles(self):
+        m = Metrics(response_times=[1.0, 2.0, 3.0, 4.0])
+        assert m.percentile_response_time(0) == 1.0
+        assert m.percentile_response_time(100) == 4.0
+        assert 2.0 <= m.percentile_response_time(50) <= 3.0
+
+    def test_empty_metrics(self):
+        m = Metrics()
+        assert m.abort_rate == 0.0
+        assert m.throughput == 0.0
+        assert m.mean_response_time == 0.0
+        assert m.percentile_response_time(95) == 0.0
+
+    def test_singleton_percentile(self):
+        assert Metrics(response_times=[5.0]).percentile_response_time(50) == 5.0

@@ -1,0 +1,73 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.simulator.events import EventQueue
+
+
+class TestEventQueue:
+    def test_fires_in_time_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule(3.0, lambda: log.append("c"))
+        q.schedule(1.0, lambda: log.append("a"))
+        q.schedule(2.0, lambda: log.append("b"))
+        q.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        q = EventQueue()
+        log = []
+        for name in "abc":
+            q.schedule(1.0, lambda n=name: log.append(n))
+        q.run()
+        assert log == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(2.5, lambda: seen.append(q.now))
+        q.run()
+        assert seen == [2.5]
+
+    def test_nested_scheduling(self):
+        q = EventQueue()
+        log = []
+
+        def first():
+            log.append(("first", q.now))
+            q.schedule(1.0, lambda: log.append(("second", q.now)))
+
+        q.schedule(1.0, first)
+        q.run()
+        assert log == [("first", 1.0), ("second", 2.0)]
+
+    def test_cancellation(self):
+        q = EventQueue()
+        log = []
+        handle = q.schedule(1.0, lambda: log.append("x"))
+        handle.cancel()
+        q.schedule(2.0, lambda: log.append("y"))
+        assert q.run() == 1
+        assert log == ["y"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0, lambda: None)
+
+    def test_max_events(self):
+        q = EventQueue()
+
+        def rearm():
+            q.schedule(1.0, rearm)
+
+        q.schedule(1.0, rearm)
+        assert q.run(max_events=5) == 5
+
+    def test_len_ignores_cancelled(self):
+        q = EventQueue()
+        h = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        h.cancel()
+        assert len(q) == 1
+        assert not q.empty()

@@ -1,0 +1,99 @@
+"""Tests for open-loop arrivals and heterogeneous service times."""
+
+import pytest
+
+from repro.core.correctness import check_composite_correctness
+from repro.exceptions import SimulationError
+from repro.simulator import ProgramConfig, SimulationConfig, simulate
+from repro.workloads.topologies import fork_topology, join_topology
+
+
+class TestOpenLoop:
+    def test_all_arrivals_processed(self):
+        res = simulate(
+            SimulationConfig(
+                topology=join_topology(2),
+                protocol="cc",
+                clients=3,
+                transactions_per_client=5,
+                arrival="open",
+                arrival_rate=0.8,
+                seed=1,
+            )
+        )
+        m = res.metrics
+        assert m.commits + m.gave_up == 15
+
+    def test_open_loop_runs_are_still_comp_c_under_cc(self):
+        for seed in range(3):
+            res = simulate(
+                SimulationConfig(
+                    topology=join_topology(3),
+                    protocol="cc",
+                    clients=3,
+                    transactions_per_client=4,
+                    arrival="open",
+                    arrival_rate=1.5,
+                    seed=seed,
+                )
+            )
+            assert check_composite_correctness(
+                res.assembled.recorded.system
+            ).correct
+
+    def test_higher_arrival_rate_more_contention(self):
+        def abort_rate(rate):
+            res = simulate(
+                SimulationConfig(
+                    topology=join_topology(2),
+                    protocol="cc",
+                    clients=4,
+                    transactions_per_client=8,
+                    arrival="open",
+                    arrival_rate=rate,
+                    seed=3,
+                    program=ProgramConfig(items_per_component=3, item_skew=1.0),
+                )
+            )
+            return res.metrics.abort_rate
+
+        assert abort_rate(4.0) >= abort_rate(0.1)
+
+    def test_invalid_arrival_model_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(topology=join_topology(2), arrival="weird")
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(
+                topology=join_topology(2), arrival="open", arrival_rate=0.0
+            )
+
+
+class TestHeterogeneousService:
+    def test_slow_component_dominates_response_time(self):
+        def mean_response(service_times):
+            res = simulate(
+                SimulationConfig(
+                    topology=fork_topology(2),
+                    protocol="sgt",
+                    clients=2,
+                    transactions_per_client=6,
+                    seed=5,
+                    service_times=service_times,
+                )
+            )
+            return res.metrics.mean_response_time
+
+        fast = mean_response({"B1": 0.1, "B2": 0.1})
+        slow = mean_response({"B1": 5.0, "B2": 5.0})
+        assert slow > fast * 2
+
+    def test_default_applies_to_unlisted_components(self):
+        cfg = SimulationConfig(
+            topology=fork_topology(2),
+            mean_service_time=2.5,
+            service_times={"B1": 0.5},
+        )
+        assert cfg.service_time_for("B1") == 0.5
+        assert cfg.service_time_for("B2") == 2.5

@@ -1,0 +1,139 @@
+"""Tests for fork-join parallel subtransaction execution."""
+
+import random
+
+import pytest
+
+from repro.core.correctness import check_composite_correctness
+from repro.core.reduction import reduce_to_roots
+from repro.simulator import ProgramConfig, SimulationConfig, simulate
+from repro.simulator.programs import CallStep, pick_item, random_program
+from repro.workloads.topologies import (
+    fork_topology,
+    join_topology,
+    stack_topology,
+)
+
+PARALLEL = ProgramConfig(
+    items_per_component=8,
+    item_skew=0.5,
+    calls_per_transaction=(2, 3),
+    parallel_calls=True,
+)
+
+
+def run(topology, protocol="cc", seed=0, clients=3, txns=5, program=PARALLEL):
+    return simulate(
+        SimulationConfig(
+            topology=topology,
+            protocol=protocol,
+            clients=clients,
+            transactions_per_client=txns,
+            seed=seed,
+            program=program,
+        )
+    )
+
+
+class TestLanePartitioning:
+    def test_lanes_restrict_item_space(self):
+        rng = random.Random(0)
+        cfg = ProgramConfig(items_per_component=8)
+        low = {pick_item("C", cfg, rng, lane=(0.0, 0.5)) for _ in range(100)}
+        high = {pick_item("C", cfg, rng, lane=(0.5, 1.0)) for _ in range(100)}
+        assert not (low & high)
+
+    def test_tiny_lane_still_yields_an_item(self):
+        rng = random.Random(0)
+        cfg = ProgramConfig(items_per_component=2)
+        item = pick_item("C", cfg, rng, lane=(0.9, 1.0))
+        assert item.startswith("C:k")
+
+    def test_parallel_siblings_use_disjoint_items(self):
+        rng = random.Random(3)
+        topo = fork_topology(1)  # single branch: collisions would be easy
+        cfg = ProgramConfig(
+            items_per_component=8,
+            calls_per_transaction=(3, 3),
+            accesses_per_transaction=(3, 3),
+            parallel_calls=True,
+        )
+        program = random_program(topo, "F", cfg, rng)
+        item_sets = []
+        for call in program.steps:
+            assert isinstance(call, CallStep)
+            item_sets.append(
+                {step.item for step in call.steps}
+            )
+        for i, a in enumerate(item_sets):
+            for b in item_sets[i + 1:]:
+                assert not (a & b)
+
+
+class TestParallelExecution:
+    def test_all_roots_terminate(self):
+        res = run(stack_topology(2))
+        m = res.metrics
+        assert m.commits + m.gave_up == 15
+
+    def test_deterministic(self):
+        a = run(join_topology(2), seed=9)
+        b = run(join_topology(2), seed=9)
+        assert a.metrics.summary() == b.metrics.summary()
+
+    @pytest.mark.parametrize("protocol", ["cc", "s2pl"])
+    @pytest.mark.parametrize(
+        "topology",
+        [stack_topology(2), fork_topology(3), join_topology(3)],
+        ids=["stack", "fork", "join"],
+    )
+    def test_safe_protocols_stay_comp_c_under_parallelism(
+        self, protocol, topology
+    ):
+        for seed in range(3):
+            res = run(topology, protocol=protocol, seed=seed)
+            if res.assembled is None:
+                continue
+            assert check_composite_correctness(
+                res.assembled.recorded.system
+            ).correct, (protocol, seed)
+
+    def test_parallelism_improves_response_time(self):
+        sequential = ProgramConfig(
+            items_per_component=8,
+            item_skew=0.5,
+            calls_per_transaction=(3, 3),
+            parallel_calls=False,
+        )
+        parallel = ProgramConfig(
+            items_per_component=8,
+            item_skew=0.5,
+            calls_per_transaction=(3, 3),
+            parallel_calls=True,
+        )
+        seq = run(fork_topology(3), protocol="sgt", program=sequential, clients=1, txns=8)
+        par = run(fork_topology(3), protocol="sgt", program=parallel, clients=1, txns=8)
+        assert par.metrics.mean_response_time < seq.metrics.mean_response_time
+
+    def test_recorded_program_order_is_partial(self):
+        # Parallel sibling calls must NOT be weakly ordered in the
+        # recorded transaction; sequential segments must be.
+        res = run(fork_topology(3), clients=1, txns=3, seed=2)
+        system = res.assembled.recorded.system
+        found_parallel_pair = False
+        for sname, schedule in system.schedules.items():
+            for txn in schedule.transactions.values():
+                ops = txn.operations
+                for i, a in enumerate(ops):
+                    for b in ops[i + 1:]:
+                        if not txn.weakly_ordered(a, b) and not txn.weakly_ordered(b, a):
+                            found_parallel_pair = True
+        assert found_parallel_pair
+
+    def test_verdict_checkable_and_certified(self):
+        for seed in range(3):
+            res = run(join_topology(3), protocol="sgt", seed=seed, clients=4)
+            if res.assembled is None:
+                continue
+            result = reduce_to_roots(res.assembled.recorded.system)
+            assert result.succeeded in (True, False)

@@ -1,0 +1,78 @@
+"""Unit tests for program generation."""
+
+import random
+
+from repro.simulator.programs import (
+    AccessStep,
+    CallStep,
+    ProgramConfig,
+    pick_item,
+    random_program,
+)
+from repro.workloads.topologies import fork_topology, stack_topology
+
+
+class TestPickItem:
+    def test_items_are_component_local(self):
+        rng = random.Random(0)
+        cfg = ProgramConfig(items_per_component=4)
+        item = pick_item("B1", cfg, rng)
+        assert item.startswith("B1:k")
+
+    def test_skew_prefers_hot_items(self):
+        rng = random.Random(0)
+        cfg = ProgramConfig(items_per_component=8, item_skew=2.0)
+        picks = [pick_item("C", cfg, rng) for _ in range(500)]
+        hot = picks.count("C:k0")
+        cold = picks.count("C:k7")
+        assert hot > cold * 3
+
+    def test_uniform_when_no_skew(self):
+        rng = random.Random(0)
+        cfg = ProgramConfig(items_per_component=4, item_skew=0.0)
+        picks = {pick_item("C", cfg, rng) for _ in range(200)}
+        assert len(picks) == 4
+
+
+class TestRandomProgram:
+    def test_leaf_component_gets_accesses(self):
+        rng = random.Random(1)
+        topo = stack_topology(1)
+        program = random_program(topo, "L1", ProgramConfig(), rng)
+        assert all(isinstance(s, AccessStep) for s in program.steps)
+        assert program.access_count() >= 1
+
+    def test_internal_component_delegates(self):
+        rng = random.Random(1)
+        topo = stack_topology(2)
+        program = random_program(topo, "L2", ProgramConfig(), rng)
+        assert all(isinstance(s, CallStep) for s in program.steps)
+        assert program.call_count() >= 1
+        for call in program.steps:
+            assert call.component == "L1"
+
+    def test_fork_calls_hit_branches(self):
+        rng = random.Random(2)
+        topo = fork_topology(3)
+        program = random_program(
+            topo, "F", ProgramConfig(calls_per_transaction=(4, 4)), rng
+        )
+        targets = {call.component for call in program.steps}
+        assert targets <= {"B1", "B2", "B3"}
+
+    def test_local_access_probability(self):
+        rng = random.Random(3)
+        topo = stack_topology(2)
+        cfg = ProgramConfig(
+            local_access_probability=1.0, calls_per_transaction=(2, 2)
+        )
+        program = random_program(topo, "L2", cfg, rng)
+        assert all(isinstance(s, AccessStep) for s in program.steps)
+
+    def test_deterministic_for_seed(self):
+        topo = fork_topology(2)
+        a = random_program(topo, "F", ProgramConfig(), random.Random(5))
+        b = random_program(topo, "F", ProgramConfig(), random.Random(5))
+        assert a.component == b.component
+        assert a.access_count() == b.access_count()
+        assert a.call_count() == b.call_count()

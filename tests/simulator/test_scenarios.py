@@ -1,0 +1,108 @@
+"""Tests for the named TP-monitor scenario."""
+
+import random
+
+import pytest
+
+from repro.core.correctness import check_composite_correctness
+from repro.criteria import is_fork
+from repro.exceptions import WorkloadError
+from repro.simulator import SimulationConfig, simulate
+from repro.simulator.programs import AccessStep, CallStep
+from repro.simulator.scenarios import (
+    audit_program,
+    order_program,
+    payment_program,
+    tp_monitor_mix,
+    tp_monitor_topology,
+)
+
+
+class TestPrograms:
+    def test_payment_shape(self):
+        program = payment_program(random.Random(0))
+        assert program.component == "TPM"
+        assert [s.component for s in program.steps] == ["AccountsDB", "LogDB"]
+        accounts_call = program.steps[0]
+        modes = [a.mode for a in accounts_call.steps]
+        assert modes == ["r", "w", "r", "w"]
+
+    def test_order_touches_three_managers(self):
+        program = order_program(random.Random(1))
+        assert [s.component for s in program.steps] == [
+            "StockDB",
+            "AccountsDB",
+            "LogDB",
+        ]
+
+    def test_audit_is_read_only(self):
+        program = audit_program(random.Random(2))
+        for call in program.steps:
+            assert all(a.mode == "r" for a in call.steps)
+
+    def test_items_are_component_local(self):
+        program = payment_program(random.Random(3))
+        for call in program.steps:
+            assert isinstance(call, CallStep)
+            for access in call.steps:
+                assert isinstance(access, AccessStep)
+                assert access.item.startswith(call.component + ":")
+
+
+class TestMix:
+    def test_mix_weights_respected(self):
+        factory = tp_monitor_mix(payment=1.0, order=0.0, audit=0.0)
+        rng = random.Random(0)
+        topo = tp_monitor_topology()
+        for _ in range(5):
+            program = factory(topo, "TPM", rng)
+            assert [s.component for s in program.steps][-1] == "LogDB"
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(WorkloadError):
+            tp_monitor_mix(payment=0, order=0, audit=0)
+
+    def test_wrong_home_rejected(self):
+        factory = tp_monitor_mix()
+        with pytest.raises(WorkloadError):
+            factory(tp_monitor_topology(), "AccountsDB", random.Random(0))
+
+
+class TestScenarioRuns:
+    def test_topology_is_a_fork(self):
+        topo = tp_monitor_topology()
+        assert topo.order == 2
+        assert topo.root_schedules == ["TPM"]
+
+    @pytest.mark.parametrize("protocol", ["cc", "s2pl"])
+    def test_safe_protocols_run_the_mix_correctly(self, protocol):
+        result = simulate(
+            SimulationConfig(
+                topology=tp_monitor_topology(),
+                protocol=protocol,
+                clients=4,
+                transactions_per_client=6,
+                seed=3,
+                program_factory=tp_monitor_mix(),
+            )
+        )
+        metrics = result.metrics
+        assert metrics.commits + metrics.gave_up == 24
+        recorded = result.assembled.recorded
+        assert is_fork(recorded.system) or recorded.system.order <= 2
+        assert check_composite_correctness(recorded.system).correct
+
+    def test_mix_is_deterministic_per_seed(self):
+        def run():
+            return simulate(
+                SimulationConfig(
+                    topology=tp_monitor_topology(),
+                    protocol="sgt",
+                    clients=3,
+                    transactions_per_client=5,
+                    seed=11,
+                    program_factory=tp_monitor_mix(),
+                )
+            ).metrics.summary()
+
+        assert run() == run()

@@ -1,0 +1,105 @@
+"""CLI tests for the Def.-18 compare command."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.builder import SystemBuilder
+from repro.figures import figure3_system
+from repro.io import save
+
+
+def deep(db_exec):
+    b = SystemBuilder()
+    b.transaction("T1", "Top", ["u"])
+    b.transaction("T2", "Top", ["v"])
+    b.conflict("Top", "u", "v")
+    b.executed("Top", ["u", "v"])
+    b.transaction("u", "DB", ["x"])
+    b.transaction("v", "DB", ["y"])
+    b.conflict("DB", "x", "y")
+    b.executed("DB", list(db_exec))
+    return b.build()
+
+
+def flat(order):
+    b = SystemBuilder()
+    b.transaction("T1", "S", ["a"])
+    b.transaction("T2", "S", ["b"])
+    b.conflict("S", "a", "b")
+    b.executed("S", list(order))
+    return b.build()
+
+
+@pytest.fixture()
+def files(tmp_path):
+    paths = {}
+    save(deep(("x", "y")), tmp_path / "deep.json")
+    save(flat(("a", "b")), tmp_path / "flat_same.json")
+    save(flat(("b", "a")), tmp_path / "flat_flipped.json")
+    save(figure3_system(), tmp_path / "broken.json")
+    for name in ("deep", "flat_same", "flat_flipped", "broken"):
+        paths[name] = str(tmp_path / f"{name}.json")
+    return paths
+
+
+class TestCompare:
+    def test_equivalent(self, files, capsys):
+        code = main(["compare", files["deep"], files["flat_same"]])
+        assert code == 0
+        assert "YES" in capsys.readouterr().out
+
+    def test_not_equivalent(self, files, capsys):
+        code = main(["compare", files["deep"], files["flat_flipped"]])
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "NO" in out
+
+    def test_rejected_execution_has_no_front(self, files, capsys):
+        code = main(["compare", files["broken"], files["flat_same"]])
+        assert code == 3
+        assert "NO FRONT" in capsys.readouterr().out
+
+    def test_explicit_levels(self, files, capsys):
+        code = main(
+            [
+                "compare",
+                files["deep"],
+                files["deep"],
+                "--level-a",
+                "1",
+                "--level-b",
+                "1",
+            ]
+        )
+        assert code == 0
+
+    def test_rename(self, files, tmp_path, capsys):
+        b = SystemBuilder()
+        b.transaction("P", "S", ["a"]).transaction("Q", "S", ["b"])
+        b.conflict("S", "a", "b")
+        b.executed("S", ["a", "b"])
+        save(b.build(), tmp_path / "renamed.json")
+        code = main(
+            [
+                "compare",
+                files["flat_same"],
+                str(tmp_path / "renamed.json"),
+                "--rename",
+                "T1=P",
+                "--rename",
+                "T2=Q",
+            ]
+        )
+        assert code == 0
+
+    def test_bad_rename_syntax(self, files):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "compare",
+                    files["deep"],
+                    files["flat_same"],
+                    "--rename",
+                    "nonsense",
+                ]
+            )

@@ -1,0 +1,26 @@
+"""Run the doctests embedded in public-API docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.builder
+import repro.core.correctness
+import repro.core.orders
+import repro.criteria.classical
+
+MODULES = [
+    repro,
+    repro.core.builder,
+    repro.core.correctness,
+    repro.core.orders,
+    repro.criteria.classical,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    failures, tried = doctest.testmod(module, verbose=False)
+    assert tried > 0, f"{module.__name__} should carry doctests"
+    assert failures == 0

@@ -1,0 +1,47 @@
+"""Tests for the public hypothesis-strategy module (repro.testing)."""
+
+from hypothesis import given, settings
+
+from repro.core.correctness import is_composite_correct
+from repro.criteria.registry import RecordedExecution, classify
+from repro.testing import (
+    composite_systems,
+    recorded_executions,
+    topologies,
+    workload_configs,
+)
+from repro.workloads.topologies import stack_topology
+
+
+@given(topologies())
+@settings(max_examples=30, deadline=None)
+def test_topologies_are_valid(spec):
+    spec.validate()
+    assert spec.order >= 1
+
+
+@given(workload_configs())
+@settings(max_examples=30, deadline=None)
+def test_workload_configs_are_valid(config):
+    assert config.roots >= 1
+    assert config.layout in ("serial", "random", "perturbed")
+
+
+@given(recorded_executions())
+@settings(max_examples=25, deadline=None)
+def test_executions_are_well_formed_and_decidable(recorded):
+    assert isinstance(recorded, RecordedExecution)
+    verdicts = classify(recorded)
+    assert verdicts["comp_c"] in (True, False)
+
+
+@given(recorded_executions(layouts=("serial",)))
+@settings(max_examples=15, deadline=None)
+def test_serial_strategy_executions_are_correct(recorded):
+    assert is_composite_correct(recorded.system)
+
+
+@given(composite_systems(topology=stack_topology(2)))
+@settings(max_examples=15, deadline=None)
+def test_fixed_topology_strategy(system):
+    assert set(system.levels.values()) <= {1, 2}

@@ -1,0 +1,62 @@
+"""Tests for execution-lane rendering."""
+
+from repro.viz.timeline import interleaving_profile, render_lanes
+from repro.workloads.generator import WorkloadConfig, generate
+from repro.workloads.topologies import join_topology, stack_topology
+
+
+def make(layout="random", seed=0):
+    return generate(
+        join_topology(2),
+        WorkloadConfig(
+            seed=seed, roots=4, conflict_probability=0.2, layout=layout
+        ),
+    )
+
+
+class TestRenderLanes:
+    def test_every_schedule_gets_a_lane(self):
+        rec = make()
+        text = render_lanes(rec)
+        for name in rec.executions:
+            assert name in text
+
+    def test_lanes_show_root_names(self):
+        rec = make()
+        assert "R1" in render_lanes(rec)
+
+    def test_show_ops(self):
+        rec = make()
+        text = render_lanes(rec, show_ops=True)
+        some_op = next(iter(rec.executions["J"]))
+        assert some_op in text
+
+    def test_width_cap(self):
+        rec = generate(
+            stack_topology(2),
+            WorkloadConfig(seed=1, roots=12, conflict_probability=0.05),
+        )
+        for line in render_lanes(rec, max_width=40).splitlines():
+            # the lane body is capped at max_width; the lane name and the
+            # "(N ops, M transactions)" annotation come on top
+            assert len(line) <= 40 + 45
+
+    def test_empty_executions(self):
+        from repro.criteria.registry import RecordedExecution
+
+        rec = make()
+        bare = RecordedExecution(system=rec.system, executions={})
+        assert render_lanes(bare) == ""
+
+
+class TestInterleavingProfile:
+    def test_serial_layout_profiles_to_zero(self):
+        rec = make(layout="serial")
+        profile = interleaving_profile(rec)
+        assert all(v == 0 for v in profile.values())
+
+    def test_random_layout_usually_interleaves(self):
+        assert any(
+            sum(interleaving_profile(make(seed=s)).values()) > 0
+            for s in range(5)
+        )

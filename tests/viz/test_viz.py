@@ -1,0 +1,57 @@
+"""Unit tests for DOT export and ASCII rendering."""
+
+from repro.core.reduction import reduce_to_roots
+from repro.figures import figure1_system, figure3_system
+from repro.viz.ascii_art import render_forest, render_front, render_levels
+from repro.viz.dot import forest_dot, front_dot, invocation_graph_dot
+
+
+class TestDot:
+    def test_invocation_graph_dot(self):
+        text = invocation_graph_dot(figure1_system())
+        assert text.startswith("digraph")
+        assert '"SA" -> "SB"' in text
+        assert "rank=same" in text
+        assert text.rstrip().endswith("}")
+
+    def test_forest_dot_marks_roots_and_leaves(self):
+        text = forest_dot(figure1_system())
+        assert "doubleoctagon" in text  # roots
+        assert "ellipse" in text  # leaves
+        assert '"T1" -> "b1"' in text
+
+    def test_front_dot(self):
+        result = reduce_to_roots(figure1_system())
+        text = front_dot(result.fronts[1], title="level 1")
+        assert "digraph" in text
+        assert "style=dashed" in text or "->" in text
+
+    def test_quoting(self):
+        text = invocation_graph_dot(figure1_system())
+        assert '"SA"' in text
+
+
+class TestAscii:
+    def test_render_levels(self):
+        text = render_levels(figure1_system())
+        assert "level 3: SA" in text
+        assert "level 1: SD, SE" in text
+
+    def test_render_forest_contains_all_roots(self):
+        text = render_forest(figure1_system())
+        for root in ("T1", "T2", "T3", "T4", "T5"):
+            assert root in text
+        assert "[SB]" in text  # schedule annotations
+
+    def test_render_forest_nesting(self):
+        text = render_forest(figure1_system())
+        lines = text.splitlines()
+        t1 = lines.index("T1  [SA]")
+        assert "x1" in lines[t1 + 1]
+
+    def test_render_front(self):
+        result = reduce_to_roots(figure3_system())
+        text = render_front(result.fronts[2])
+        assert "level 2 front" in text
+        assert "observed:" in text
+        assert "CC:" in text

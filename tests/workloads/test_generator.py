@@ -1,0 +1,147 @@
+"""Unit + property tests for the random execution generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.correctness import is_composite_correct
+from repro.exceptions import WorkloadError
+from repro.workloads.generator import WorkloadConfig, generate, generate_batch
+from repro.workloads.topologies import (
+    fork_topology,
+    join_topology,
+    random_dag_topology,
+    stack_topology,
+    tree_topology,
+)
+
+ALL_SPECS = [
+    stack_topology(2),
+    stack_topology(3),
+    fork_topology(3),
+    join_topology(3),
+    tree_topology(3, 2),
+    random_dag_topology(3, 2, seed=3),
+]
+
+
+class TestConfig:
+    def test_bad_layout(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(layout="zigzag")
+
+    def test_bad_ops_range(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(ops_per_transaction=(0, 2))
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(ops_per_transaction=(3, 2))
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.name)
+    def test_generated_systems_are_well_formed(self, spec):
+        # build() runs full Def.-3/Def.-4 validation: no exception = pass.
+        for seed in range(5):
+            rec = generate(
+                spec,
+                WorkloadConfig(
+                    seed=seed,
+                    conflict_probability=0.3,
+                    intra_order_probability=0.3,
+                    leaf_probability=0.2 if "dag" in spec.name else 0.0,
+                ),
+            )
+            assert rec.system.order <= spec.order
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.name)
+    def test_serial_layout_always_correct(self, spec):
+        for seed in range(5):
+            rec = generate(
+                spec,
+                WorkloadConfig(
+                    seed=seed, conflict_probability=0.5, layout="serial"
+                ),
+            )
+            assert is_composite_correct(rec.system)
+            assert rec.is_serial_layout()
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.name)
+    def test_perturbed_layout_preserves_correctness(self, spec):
+        for seed in range(5):
+            rec = generate(
+                spec,
+                WorkloadConfig(
+                    seed=seed,
+                    conflict_probability=0.5,
+                    layout="perturbed",
+                    perturbation_swaps=12,
+                ),
+            )
+            assert is_composite_correct(rec.system)
+
+    def test_random_layout_produces_both_verdicts(self):
+        verdicts = set()
+        for seed in range(30):
+            rec = generate(
+                stack_topology(2),
+                WorkloadConfig(seed=seed, conflict_probability=0.15),
+            )
+            verdicts.add(is_composite_correct(rec.system))
+        assert verdicts == {True, False}
+
+    def test_deterministic(self):
+        a = generate(fork_topology(2), WorkloadConfig(seed=9))
+        b = generate(fork_topology(2), WorkloadConfig(seed=9))
+        assert a.executions == b.executions
+
+    def test_executions_cover_all_schedules(self):
+        rec = generate(stack_topology(3), WorkloadConfig(seed=0))
+        for name, schedule in rec.system.schedules.items():
+            assert set(rec.executions[name]) == set(schedule.operations)
+
+    def test_roots_distributed_round_robin(self):
+        rec = generate(join_topology(3), WorkloadConfig(seed=0, roots=3))
+        homes = {
+            rec.system.schedule_of_transaction(r) for r in rec.system.roots
+        }
+        assert homes == {"C1", "C2", "C3"}
+
+    def test_empty_schedules_pruned(self):
+        rec = generate(join_topology(5), WorkloadConfig(seed=0, roots=2))
+        assert len(rec.system.schedules) <= 3  # 2 clients + J
+
+    def test_batch_uses_consecutive_seeds(self):
+        batch = generate_batch(
+            stack_topology(2), WorkloadConfig(seed=5), count=3
+        )
+        singles = [
+            generate(stack_topology(2), WorkloadConfig(seed=5 + i))
+            for i in range(3)
+        ]
+        for got, want in zip(batch, singles):
+            assert got.executions == want.executions
+
+
+@given(
+    seed=st.integers(0, 200),
+    cp=st.sampled_from([0.0, 0.1, 0.4, 0.8]),
+    roots=st.integers(1, 5),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_generated_stacks_validate_and_decide(seed, cp, roots):
+    rec = generate(
+        stack_topology(2),
+        WorkloadConfig(seed=seed, roots=roots, conflict_probability=cp),
+    )
+    # The verdict must be computable without error on any instance.
+    assert is_composite_correct(rec.system) in (True, False)
+
+
+@given(seed=st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_property_zero_conflicts_always_correct(seed):
+    rec = generate(
+        stack_topology(3),
+        WorkloadConfig(seed=seed, conflict_probability=0.0),
+    )
+    assert is_composite_correct(rec.system)

@@ -1,0 +1,106 @@
+"""Unit tests for topology descriptors."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads.topologies import (
+    TopologySpec,
+    fork_topology,
+    join_topology,
+    random_dag_topology,
+    stack_topology,
+    tree_topology,
+)
+
+
+class TestStack:
+    def test_shape(self):
+        spec = stack_topology(3)
+        assert spec.order == 3
+        assert spec.levels == {"L3": 3, "L2": 2, "L1": 1}
+        assert spec.invokes["L3"] == ["L2"]
+        assert spec.invokes["L1"] == []
+        assert spec.root_schedules == ["L3"]
+
+    def test_depth_one(self):
+        spec = stack_topology(1)
+        assert spec.order == 1
+        assert spec.invokes == {"L1": []}
+
+    def test_bad_depth(self):
+        with pytest.raises(WorkloadError):
+            stack_topology(0)
+
+
+class TestForkJoin:
+    def test_fork_shape(self):
+        spec = fork_topology(3)
+        assert spec.levels["F"] == 2
+        assert set(spec.invokes["F"]) == {"B1", "B2", "B3"}
+        assert spec.root_schedules == ["F"]
+
+    def test_join_shape(self):
+        spec = join_topology(2)
+        assert spec.levels["J"] == 1
+        assert spec.invokes["C1"] == ["J"]
+        assert set(spec.root_schedules) == {"C1", "C2"}
+
+    def test_bad_counts(self):
+        with pytest.raises(WorkloadError):
+            fork_topology(0)
+        with pytest.raises(WorkloadError):
+            join_topology(0)
+
+
+class TestTree:
+    def test_shape(self):
+        spec = tree_topology(3, 2)
+        assert spec.order == 3
+        # 1 + 2 + 4 schedules
+        assert len(spec.schedule_names) == 7
+        leaves = [s for s, t in spec.invokes.items() if not t]
+        assert len(leaves) == 4
+
+    def test_bad_params(self):
+        with pytest.raises(WorkloadError):
+            tree_topology(0, 2)
+
+
+class TestDag:
+    def test_shape_and_determinism(self):
+        a = random_dag_topology(3, 2, seed=7)
+        b = random_dag_topology(3, 2, seed=7)
+        assert a.levels == b.levels
+        assert a.invokes == b.invokes
+        assert a.order == 3
+
+    def test_extra_roots(self):
+        spec = random_dag_topology(3, 2, seed=1, extra_roots=2)
+        lower_roots = [
+            s for s in spec.root_schedules if spec.levels[s] < spec.order
+        ]
+        assert len(lower_roots) == 2
+
+    def test_edges_point_downward(self):
+        spec = random_dag_topology(4, 3, seed=2)
+        spec.validate()
+        for caller, callees in spec.invokes.items():
+            for callee in callees:
+                assert spec.levels[callee] < spec.levels[caller]
+
+    def test_validation_rejects_upward_edges(self):
+        bad = TopologySpec(
+            name="bad",
+            levels={"A": 1, "B": 2},
+            invokes={"A": ["B"], "B": []},
+            root_schedules=["B"],
+        )
+        with pytest.raises(WorkloadError):
+            bad.validate()
+
+    def test_validation_requires_roots(self):
+        bad = TopologySpec(
+            name="bad", levels={"A": 1}, invokes={"A": []}, root_schedules=[]
+        )
+        with pytest.raises(WorkloadError):
+            bad.validate()
