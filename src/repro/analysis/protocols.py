@@ -11,12 +11,14 @@ correctness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.correctness import is_composite_correct
-from repro.simulator.engine import SimulationConfig, simulate
+from repro.simulator.engine import Simulation, SimulationConfig, simulate
+from repro.simulator.faults import random_fault_plan
 from repro.simulator.programs import ProgramConfig
+from repro.simulator.retry import RetryPolicy
 from repro.workloads.topologies import TopologySpec
 
 
@@ -82,6 +84,126 @@ def evaluate_protocol(
         mean_response_time=response / runs,
         comp_c_runs=comp_c_runs,
     )
+
+
+@dataclass
+class ChaosPoint:
+    """One (protocol, topology, fault intensity) cell, seed-aggregated.
+
+    The R1 experiment's unit of measurement: liveness numbers
+    (availability, throughput, give-ups, wasted work) next to the
+    safety verdict (how many committed executions were Comp-C)."""
+
+    protocol: str
+    topology: str
+    intensity: float
+    runs: int
+    commits: int
+    gave_up: int
+    throughput: float
+    abort_rate: float
+    availability: float
+    aborts_by_reason: Dict[str, int] = field(default_factory=dict)
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+    discarded_operations: int = 0
+    assembled_runs: int = 0  # runs that committed anything at all
+    comp_c_runs: int = 0  # assembled runs judged Comp-C
+
+    @property
+    def comp_c_rate(self) -> float:
+        """Comp-C verdicts per assembled run (1.0 when nothing ever
+        committed — an execution with no commits is vacuously safe)."""
+        if self.assembled_runs == 0:
+            return 1.0
+        return self.comp_c_runs / self.assembled_runs
+
+    def abort_breakdown(self) -> str:
+        if not self.aborts_by_reason:
+            return "-"
+        return " ".join(
+            f"{reason}:{count}"
+            for reason, count in sorted(self.aborts_by_reason.items())
+        )
+
+
+def evaluate_protocol_under_faults(
+    topology: TopologySpec,
+    protocol: str,
+    *,
+    intensity: float = 1.0,
+    seeds: Sequence[int] = (0, 1, 2),
+    clients: int = 3,
+    transactions_per_client: int = 5,
+    program: Optional[ProgramConfig] = None,
+    retry_policy: Union[str, RetryPolicy] = "linear",
+    max_attempts: int = 10,
+    horizon: float = 120.0,
+    **plan_kw,
+) -> ChaosPoint:
+    """One chaos cell: run ``protocol`` under a seeded random fault
+    plan (crashes + drops + degradation + transient failures scaled by
+    ``intensity``) and re-check every committed execution with the
+    Comp-C reduction.  ``plan_kw`` is forwarded to
+    :func:`repro.simulator.faults.random_fault_plan`."""
+    program = program or ProgramConfig(items_per_component=4, item_skew=0.8)
+    point = ChaosPoint(
+        protocol=protocol,
+        topology=topology.name,
+        intensity=intensity,
+        runs=0,
+        commits=0,
+        gave_up=0,
+        throughput=0.0,
+        abort_rate=0.0,
+        availability=0.0,
+    )
+    for seed in seeds:
+        plan = random_fault_plan(
+            topology.schedule_names,
+            seed=seed,
+            intensity=intensity,
+            horizon=horizon,
+            **plan_kw,
+        )
+        sim = Simulation(
+            SimulationConfig(
+                topology=topology,
+                protocol=protocol,
+                clients=clients,
+                transactions_per_client=transactions_per_client,
+                seed=seed,
+                program=program,
+                retry_policy=retry_policy,
+                max_attempts=max_attempts,
+                faults=plan if not plan.empty else None,
+            )
+        )
+        result = sim.run()
+        metrics = result.metrics
+        point.runs += 1
+        point.commits += metrics.commits
+        point.gave_up += metrics.gave_up
+        point.throughput += metrics.throughput
+        point.abort_rate += metrics.abort_rate
+        point.availability += metrics.availability
+        point.discarded_operations += sim.recorder.discarded_operations
+        for reason, count in metrics.aborts_by_reason.items():
+            point.aborts_by_reason[reason] = (
+                point.aborts_by_reason.get(reason, 0) + count
+            )
+        for kind, count in metrics.faults_injected.items():
+            point.faults_injected[kind] = (
+                point.faults_injected.get(kind, 0) + count
+            )
+        if result.assembled is not None:
+            point.assembled_runs += 1
+            if is_composite_correct(result.assembled.recorded.system):
+                point.comp_c_runs += 1
+    if point.runs:
+        point.throughput /= point.runs
+        point.abort_rate /= point.runs
+        point.availability /= point.runs
+    return point
 
 
 def protocol_sweep(

@@ -7,6 +7,7 @@ info        structure + every applicable criterion for a saved execution
 render      DOT/ASCII renderings of a saved execution
 generate    random composite execution -> JSON file
 simulate    run the discrete-event simulator, print metrics
+chaos       simulate under injected faults, re-check Comp-C per protocol
 figures     walk the paper's Figures 1-4
 experiment  run one of the paper-artifact experiments (t1..t4, h1, p2, a1)
 compare     Def.-18 front equivalence of two saved executions
@@ -164,6 +165,62 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         if args.output:
             save(result.assembled.recorded, args.output)
             print(f"recorded execution written to {args.output}")
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.analysis.protocols import evaluate_protocol_under_faults
+
+    spec = _topology(args)
+    protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    points = [
+        evaluate_protocol_under_faults(
+            spec,
+            protocol,
+            intensity=args.intensity,
+            seeds=tuple(range(args.seed, args.seed + args.runs)),
+            clients=args.clients,
+            transactions_per_client=args.transactions,
+            retry_policy=args.retry_policy,
+        )
+        for protocol in protocols
+    ]
+    print(
+        format_table(
+            [
+                "protocol",
+                "commits",
+                "gave up",
+                "availability",
+                "abort rate",
+                "aborts by reason",
+                "wasted ops",
+                "Comp-C",
+            ],
+            [
+                [
+                    p.protocol,
+                    p.commits,
+                    p.gave_up,
+                    f"{p.availability:.3f}",
+                    f"{p.abort_rate:.3f}",
+                    p.abort_breakdown(),
+                    p.discarded_operations,
+                    f"{p.comp_c_runs}/{p.assembled_runs}",
+                ]
+                for p in points
+            ],
+        )
+    )
+    print(
+        f"\nfault intensity {args.intensity} over {args.runs} seeded "
+        f"run(s) per protocol on {spec.name}; faults degrade liveness, "
+        f"never safety: composite-aware protocols stay Comp-C."
+    )
+    if args.strict:
+        for point in points:
+            if point.protocol in ("cc", "s2pl") and point.comp_c_rate < 1.0:
+                return 2
     return 0
 
 
@@ -400,6 +457,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--skew", type=float, default=0.8)
     p.add_argument("-o", "--output")
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "chaos",
+        help="simulate under injected faults (crashes, drops, "
+        "degradation) and re-check Comp-C per protocol",
+    )
+    _add_topology_options(p)
+    p.add_argument(
+        "--protocols",
+        default="cc,s2pl,sgt,to",
+        help="comma-separated protocol list (default: all four)",
+    )
+    p.add_argument(
+        "--intensity",
+        type=float,
+        default=1.0,
+        help="fault-plan scale: 0 disables faults, 1 is the default "
+        "mix, >1 amplifies it",
+    )
+    p.add_argument("--clients", type=int, default=3)
+    p.add_argument("--transactions", type=int, default=5)
+    p.add_argument(
+        "--runs", type=int, default=2, help="seeded runs per protocol"
+    )
+    p.add_argument(
+        "--retry-policy",
+        choices=("linear", "exponential", "decorrelated-jitter"),
+        default="linear",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 2 when a composite-aware protocol (cc/s2pl) commits "
+        "a non-Comp-C execution under faults",
+    )
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("figures", help="walk the paper's figures")
     p.add_argument("number", nargs="?", type=int, choices=(1, 2, 3, 4))

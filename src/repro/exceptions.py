@@ -61,6 +61,15 @@ class SimulationError(CompositeTxError):
     """The discrete-event simulator reached an inconsistent state."""
 
 
+class FaultError(SimulationError):
+    """A fault plan is malformed (invalid probabilities, negative times,
+    crash windows naming components the topology does not have).
+
+    Raised while *constructing* or *attaching* fault plans; faults that
+    fire during a run are normal simulated behaviour and never raise.
+    """
+
+
 class WorkloadError(CompositeTxError):
     """A workload generator received unsatisfiable parameters."""
 

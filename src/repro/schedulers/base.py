@@ -103,6 +103,21 @@ class ComponentScheduler:
         Default: ignored.  Nested locking retains the subtransaction's
         holdings at ``parent`` here (Moss inheritance)."""
 
+    def reset(self) -> None:
+        """Crash recovery: the component lost its volatile state.
+
+        Every in-flight transaction is aborted (their locks, graph
+        nodes and pending grants vanish with the crash); *durable*
+        serialization history — committed conflict graphs, item
+        timestamps, clocks — survives, as if recovered from the log.
+        The engine aborts the affected roots before calling this, so
+        for a consistent scheduler the loop below is a no-op; it is the
+        safety net for transactions whose root the engine no longer
+        tracks."""
+        for txn in list(self._active):
+            self.abort(txn)
+        self._granted_log.clear()
+
     def require_order(self, before: str, after: str) -> None:
         """An input order (Def. 4.7).  Default: ignored — classical
         protocols serialize by their own rules only."""

@@ -157,6 +157,22 @@ class StrictTwoPhaseLocking(ComponentScheduler):
         super().abort(txn)
         self._release_root_of(txn)
 
+    def reset(self) -> None:
+        """Crash recovery: a lock table is purely volatile state, so
+        after the base class aborts the stragglers nothing may remain —
+        drop the empty per-item states and any orphaned wait entries."""
+        super().reset()
+        self._locks = {
+            item: state
+            for item, state in self._locks.items()
+            if state.holders or state.queue
+        }
+        self._waiting = {
+            txn: blockers
+            for txn, blockers in self._waiting.items()
+            if txn in self._active
+        }
+
     # ------------------------------------------------------------------
     def _compatible(self, state: _LockState, txn: str, mode: str) -> bool:
         for holder, hmode in state.holders.items():

@@ -16,7 +16,21 @@ from repro.simulator.engine import (
     simulate,
 )
 from repro.simulator.events import EventHandle, EventQueue
+from repro.simulator.faults import (
+    CrashWindow,
+    Degradation,
+    FaultInjector,
+    FaultPlan,
+    random_fault_plan,
+)
 from repro.simulator.metrics import Metrics
+from repro.simulator.retry import (
+    DecorrelatedJitterBackoff,
+    ExponentialBackoff,
+    LinearBackoff,
+    RetryPolicy,
+    make_retry_policy,
+)
 from repro.simulator.programs import (
     AccessStep,
     CallStep,
@@ -47,4 +61,14 @@ __all__ = [
     "ExecutionRecorder",
     "tp_monitor_mix",
     "tp_monitor_topology",
+    "CrashWindow",
+    "Degradation",
+    "FaultInjector",
+    "FaultPlan",
+    "random_fault_plan",
+    "RetryPolicy",
+    "LinearBackoff",
+    "ExponentialBackoff",
+    "DecorrelatedJitterBackoff",
+    "make_retry_policy",
 ]

@@ -6,7 +6,12 @@ per a :class:`repro.workloads.topologies.TopologySpec`.  Every component
 runs its own scheduler (any protocol from :mod:`repro.schedulers`);
 access service times are exponential; blocked requests time out (the
 practical answer to cross-component deadlocks); aborts retry the whole
-root transaction with linear backoff.
+root transaction under a pluggable retry policy
+(:mod:`repro.simulator.retry`, linear backoff by default).  An optional
+:class:`repro.simulator.faults.FaultPlan` injects component crashes,
+message drops, transient access failures and service degradation at
+event boundaries — faults attack liveness (throughput, availability)
+but never the safety of what gets committed.
 
 Order propagation (Def. 4.7) is performed by the engine: when a
 transaction issues a call to a component, the engine tells the callee's
@@ -28,14 +33,16 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.orders import Relation
 from repro.exceptions import SimulationError
-from repro.schedulers import ComponentScheduler, make_scheduler
+from repro.schedulers import PROTOCOLS, ComponentScheduler, make_scheduler
 from repro.schedulers.base import Decision
 from repro.schedulers.composite_cc import (
     CompositeCCScheduler,
     RootOrderRegistry,
 )
 from repro.simulator.events import EventHandle, EventQueue
+from repro.simulator.faults import FaultInjector, FaultPlan
 from repro.simulator.metrics import Metrics
+from repro.simulator.retry import POLICIES, RetryPolicy, make_retry_policy
 from repro.simulator.programs import (
     AccessStep,
     CallStep,
@@ -81,12 +88,53 @@ class SimulationConfig:
     #: Program``.  Defaults to the random generator; named scenarios
     #: (repro.simulator.scenarios) plug in here.
     program_factory: "Optional[Callable]" = None
+    #: retry pacing + give-up policy: a name from
+    #: :data:`repro.simulator.retry.POLICIES` (instantiated with
+    #: ``retry_backoff`` as base) or a ready :class:`RetryPolicy`.
+    retry_policy: Union[str, RetryPolicy] = "linear"
+    #: optional fault plan (crashes, drops, degradation, transient
+    #: failures); ``None`` runs fault-free.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.arrival not in ("closed", "open"):
             raise SimulationError(f"unknown arrival model {self.arrival!r}")
         if self.arrival == "open" and self.arrival_rate <= 0:
             raise SimulationError("open-loop arrival_rate must be positive")
+        if self.max_attempts < 1:
+            raise SimulationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        for name in ("retry_backoff", "deadlock_timeout", "think_time"):
+            value = getattr(self, name)
+            if value < 0:
+                raise SimulationError(
+                    f"{name} must be >= 0, got {value}"
+                )
+        protocols = (
+            {None: self.protocol}
+            if isinstance(self.protocol, str)
+            else self.protocol
+        )
+        for component, protocol in protocols.items():
+            if protocol not in PROTOCOLS:
+                where = f" for component {component!r}" if component else ""
+                raise SimulationError(
+                    f"unknown protocol {protocol!r}{where}; "
+                    f"choose from {sorted(PROTOCOLS)}"
+                )
+        if (
+            isinstance(self.retry_policy, str)
+            and self.retry_policy not in POLICIES
+        ):
+            raise SimulationError(
+                f"unknown retry policy {self.retry_policy!r}; "
+                f"choose from {sorted(POLICIES)}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise SimulationError(
+                f"faults must be a FaultPlan, got {type(self.faults).__name__}"
+            )
 
     def protocol_for(self, component: str) -> str:
         if isinstance(self.protocol, str):
@@ -137,6 +185,11 @@ class _Root:
     #: dead attempt must never touch the root again, even in the window
     #: between an abort and the retry (where ``attempt`` is unchanged).
     epoch: int = 0
+    #: how often each abort reason hit this root (retry-budget input)
+    abort_reasons: Dict[str, int] = field(default_factory=dict)
+    #: backoff the root waited before the current attempt (decorrelated
+    #: jitter feeds on it)
+    last_delay: float = 0.0
 
 
 @dataclass
@@ -160,7 +213,18 @@ class Simulation:
         self.rng = random.Random(config.seed)
         self.queue = EventQueue()
         self.metrics = Metrics()
+        self.metrics.components = len(config.topology.schedule_names)
         self.recorder = ExecutionRecorder()
+        self.retry_policy = make_retry_policy(
+            config.retry_policy, base=config.retry_backoff
+        )
+        # The injector draws from its own seeded stream, so attaching a
+        # plan never perturbs the workload RNG.
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(config.faults, config.topology.schedule_names)
+            if config.faults is not None and not config.faults.empty
+            else None
+        )
         self.schedulers: Dict[str, ComponentScheduler] = {
             name: make_scheduler(config.protocol_for(name), name)
             for name in config.topology.schedule_names
@@ -194,6 +258,19 @@ class Simulation:
     # ------------------------------------------------------------------
     def run(self, *, max_events: int = 2_000_000) -> SimulationResult:
         cfg = self.config
+        if self.faults is not None:
+            # Crash windows become queue events; degradation windows
+            # need none (they are looked up at completion-scheduling
+            # time) and drops/transients are per-call draws.
+            for window in self.faults.plan.crashes:
+                self.queue.schedule(
+                    window.at,
+                    lambda c=window.component: self._crash(c),
+                )
+                self.queue.schedule(
+                    window.up_at,
+                    lambda c=window.component: self._restore(c),
+                )
         if cfg.arrival == "open":
             # Poisson arrivals: pre-schedule the whole stream (client -1
             # is the open-loop source; completions trigger nothing).
@@ -215,6 +292,9 @@ class Simulation:
                 f"simulation exceeded {max_events} events; likely livelock"
             )
         self.metrics.end_time = self.queue.now
+        if self.faults is not None:
+            self.metrics.faults_injected = dict(self.faults.counts)
+            self.metrics.downtime = self.faults.downtime(self.queue.now)
         assembled = (
             self.recorder.assemble()
             if self.recorder.committed_count
@@ -272,6 +352,13 @@ class Simulation:
         root.timeouts = {}
         root.start_time = self.queue.now
         self.recorder.begin_attempt(root.name)
+        if self.faults is not None and self.faults.is_down(
+            root.program.component
+        ):
+            # The home component refuses service: the attempt dies
+            # before any scheduler sees it.
+            self._abort_root(root, "component_down")
+            return
         top_txn = f"{root.name}a{root.attempt}"
         root.top = _Frame(
             root.program.component,
@@ -346,6 +433,17 @@ class Simulation:
             ):
                 end += 1
         segment = frame.steps[start:end]
+        if self.faults is not None:
+            # Call messages can hit a dead callee or get lost on the
+            # wire; either way the whole attempt fails fast (detection
+            # latency is folded into the retry backoff).
+            for step in segment:
+                if self.faults.is_down(step.component):
+                    self._abort_root(root, "component_down")
+                    return
+                if self.faults.drop_call(frame.component, step.component):
+                    self._abort_root(root, "message_drop")
+                    return
         frame.index = end
         frame.outstanding += len(segment)
         epoch = root.epoch
@@ -382,6 +480,16 @@ class Simulation:
     def _request_access(
         self, root: _Root, frame: _Frame, step: AccessStep
     ) -> None:
+        if self.faults is not None:
+            if self.faults.is_down(frame.component):
+                # Defensive: a crash aborts every involved root, so a
+                # live frame at a down component should not exist — but
+                # fail fast rather than trust that invariant.
+                self._abort_root(root, "component_down")
+                return
+            if self.faults.access_fails(frame.component):
+                self._abort_root(root, "transient")
+                return
         scheduler = self.schedulers[frame.component]
         decision = scheduler.request(frame.txn, step.item, step.mode)
         if decision is Decision.GRANT:
@@ -400,6 +508,10 @@ class Simulation:
         self, root: _Root, frame: _Frame, step: AccessStep
     ) -> None:
         mean = self.config.service_time_for(frame.component)
+        if self.faults is not None:
+            mean *= self.faults.degradation_factor(
+                frame.component, self.queue.now
+            )
         service = self.rng.expovariate(1.0 / mean)
         epoch = root.epoch
         # Record at the *grant* instant: that is when the scheduler fixes
@@ -518,10 +630,8 @@ class Simulation:
         if root.done:
             return
         root.epoch += 1  # invalidate every in-flight event of the attempt
-        if reason == "timeout":
-            self.metrics.timeout_aborts += 1
-        else:
-            self.metrics.protocol_aborts += 1
+        self.metrics.record_abort(reason)
+        root.abort_reasons[reason] = root.abort_reasons.get(reason, 0) + 1
         for handle in root.timeouts.values():
             handle.cancel()
         root.timeouts = {}
@@ -534,16 +644,48 @@ class Simulation:
         self.recorder.discard_attempt(root.name)
         root.top = None
         root.involved = []
-        if root.attempt >= self.config.max_attempts:
+        if not self.retry_policy.should_retry(
+            root.attempt,
+            self.config.max_attempts,
+            reason,
+            root.abort_reasons[reason],
+        ):
             root.done = True
-            self.metrics.gave_up += 1
+            self.metrics.record_giveup(reason)
             self._after_completion(root.client)
         else:
-            backoff = self.config.retry_backoff * root.attempt
-            delay = self.rng.random() * backoff + 0.01
+            self.metrics.record_retry(reason)
+            delay = self.retry_policy.delay(
+                root.attempt, self.rng, root.last_delay
+            )
+            root.last_delay = delay
             self.queue.schedule(delay, lambda: self._restart(root))
         for component in touched:
             self._drain(component)
+
+    # ------------------------------------------------------------------
+    # fault events (crash / restart)
+    # ------------------------------------------------------------------
+    def _crash(self, component: str) -> None:
+        """The component loses its volatile state: every in-flight root
+        that touched it dies, then the scheduler recovers from its
+        durable log (reset).  The component stays down — refusing calls
+        and fresh attempts — until the matching restore event."""
+        assert self.faults is not None
+        self.faults.mark_down(component)
+        victims = [
+            root
+            for root in self._roots.values()
+            if not root.done
+            and any(c == component for c, _ in root.involved)
+        ]
+        for root in victims:
+            self._abort_root(root, "crash")
+        self.schedulers[component].reset()
+
+    def _restore(self, component: str) -> None:
+        assert self.faults is not None
+        self.faults.mark_up(component)
 
     def _restart(self, root: _Root) -> None:
         if not root.done:

@@ -1,0 +1,289 @@
+"""Deterministic fault injection for the discrete-event simulator.
+
+A :class:`FaultPlan` is pure data: crash/restart windows, service-time
+degradation windows, and per-call / per-access failure probabilities.
+The :class:`FaultInjector` executes a plan inside one simulation run:
+the engine asks it, at event boundaries, whether a component is down,
+whether a call message is dropped, whether an access fails transiently,
+and how degraded a component's service currently is.
+
+Failure semantics (all of them attack *liveness*, never safety):
+
+* **crash** — at ``CrashWindow.at`` the component loses its volatile
+  state: every in-flight composite transaction touching it is aborted
+  (reason ``"crash"``) and its scheduler is reset.  Until
+  ``CrashWindow.up_at`` the component refuses service: calls into it
+  and fresh attempts homed on it fail fast (reason
+  ``"component_down"``).
+* **message drop** — an issued call is lost with probability
+  ``drop_probability``; the caller's root aborts (reason
+  ``"message_drop"``) and retries per its retry policy.
+* **transient access failure** — a granted-able access fails with
+  probability ``transient_probability`` before reaching the scheduler
+  (reason ``"transient"``) — a failed disk read, a poisoned cache line.
+* **degradation** — inside a :class:`Degradation` window the
+  component's mean service time is multiplied by ``factor`` (a slow
+  disk, a GC storm); no aborts, just latency.
+
+Determinism: the injector draws from its *own* seeded RNG, never the
+engine's, so enabling faults does not perturb the workload stream and
+two runs of the same config + plan are bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.exceptions import FaultError
+
+#: abort reasons introduced by the fault layer (the engine's native
+#: reasons are "protocol" and "timeout")
+FAULT_ABORT_REASONS = ("crash", "component_down", "message_drop", "transient")
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """Component ``component`` is down during ``[at, at + down_for)``."""
+
+    component: str
+    at: float
+    down_for: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultError(f"crash time must be >= 0, got {self.at}")
+        if self.down_for <= 0:
+            raise FaultError(
+                f"crash down_for must be positive, got {self.down_for}"
+            )
+
+    @property
+    def up_at(self) -> float:
+        return self.at + self.down_for
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """Mean service time at ``component`` is multiplied by ``factor``
+    during ``[at, at + duration)``."""
+
+    component: str
+    at: float
+    duration: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultError(f"degradation time must be >= 0, got {self.at}")
+        if self.duration <= 0:
+            raise FaultError(
+                f"degradation duration must be positive, got {self.duration}"
+            )
+        if self.factor < 1.0:
+            raise FaultError(
+                f"degradation factor must be >= 1, got {self.factor}"
+            )
+
+    @property
+    def until(self) -> float:
+        return self.at + self.duration
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that will go wrong during one run (pure data)."""
+
+    crashes: Tuple[CrashWindow, ...] = ()
+    degradations: Tuple[Degradation, ...] = ()
+    drop_probability: float = 0.0
+    transient_probability: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_probability", "transient_probability"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise FaultError(f"{name} must be in [0, 1], got {p}")
+        # tolerate lists from callers; store tuples for hashability
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "degradations", tuple(self.degradations))
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.crashes
+            or self.degradations
+            or self.drop_probability
+            or self.transient_probability
+        )
+
+    def components(self) -> Tuple[str, ...]:
+        """Components named by crash/degradation windows."""
+        seen: Dict[str, None] = {}
+        for window in self.crashes:
+            seen.setdefault(window.component)
+        for window in self.degradations:
+            seen.setdefault(window.component)
+        return tuple(seen)
+
+
+def random_fault_plan(
+    components: Sequence[str],
+    *,
+    seed: int = 0,
+    horizon: float = 120.0,
+    intensity: float = 1.0,
+    crashes_per_component: float = 1.0,
+    mean_downtime: float = 8.0,
+    degradations_per_component: float = 1.0,
+    mean_degradation: float = 15.0,
+    degradation_factor: float = 4.0,
+    drop_probability: float = 0.02,
+    transient_probability: float = 0.02,
+) -> FaultPlan:
+    """A seeded random plan over ``[0, horizon)``, scaled by
+    ``intensity`` (0 disables everything, 1 uses the parameters as
+    given, >1 amplifies them).  The expected crash/degradation counts
+    per component scale linearly; window placement and lengths are
+    drawn from ``random.Random(seed)`` only, so equal arguments always
+    produce the identical plan."""
+    if intensity < 0:
+        raise FaultError(f"intensity must be >= 0, got {intensity}")
+    if horizon <= 0:
+        raise FaultError(f"horizon must be positive, got {horizon}")
+    rng = random.Random(seed)
+
+    def sample_count(expected: float) -> int:
+        whole, frac = divmod(expected, 1.0)
+        return int(whole) + (1 if rng.random() < frac else 0)
+
+    crashes: List[CrashWindow] = []
+    degradations: List[Degradation] = []
+    for component in components:
+        for _ in range(sample_count(intensity * crashes_per_component)):
+            crashes.append(
+                CrashWindow(
+                    component,
+                    at=rng.uniform(0.0, horizon),
+                    down_for=rng.expovariate(1.0 / mean_downtime),
+                )
+            )
+        for _ in range(
+            sample_count(intensity * degradations_per_component)
+        ):
+            degradations.append(
+                Degradation(
+                    component,
+                    at=rng.uniform(0.0, horizon),
+                    duration=rng.expovariate(1.0 / mean_degradation),
+                    factor=degradation_factor,
+                )
+            )
+    return FaultPlan(
+        crashes=tuple(crashes),
+        degradations=tuple(degradations),
+        drop_probability=min(1.0, intensity * drop_probability),
+        transient_probability=min(1.0, intensity * transient_probability),
+        seed=seed,
+    )
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` inside one simulation run.
+
+    Holds the plan's RNG, the live down/up state, and fault counters.
+    The engine owns the event schedule (it turns crash windows into
+    queue events and calls :meth:`mark_down` / :meth:`mark_up`)."""
+
+    def __init__(
+        self, plan: FaultPlan, components: Iterable[str]
+    ) -> None:
+        known = set(components)
+        unknown = [c for c in plan.components() if c not in known]
+        if unknown:
+            raise FaultError(
+                f"fault plan names unknown components {sorted(set(unknown))}; "
+                f"topology has {sorted(known)}"
+            )
+        self.plan = plan
+        # Decouple the fault stream from the workload stream: a fixed
+        # odd multiplier keeps plan seeds 0,1,2,... apart from the
+        # engine seeds without colliding on small integers.
+        self._rng = random.Random(plan.seed * 2654435761 + 97)
+        self._down_depth: Dict[str, int] = {}
+        self.counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # live state (driven by engine events)
+    # ------------------------------------------------------------------
+    def mark_down(self, component: str) -> None:
+        self._down_depth[component] = self._down_depth.get(component, 0) + 1
+        self._count("crash")
+
+    def mark_up(self, component: str) -> None:
+        depth = self._down_depth.get(component, 0)
+        if depth > 0:
+            self._down_depth[component] = depth - 1
+
+    def is_down(self, component: str) -> bool:
+        return self._down_depth.get(component, 0) > 0
+
+    # ------------------------------------------------------------------
+    # per-event draws (consume only the injector's RNG)
+    # ------------------------------------------------------------------
+    def drop_call(self, caller: str, callee: str) -> bool:
+        if self.plan.drop_probability <= 0.0:
+            return False
+        if self._rng.random() < self.plan.drop_probability:
+            self._count("message_drop")
+            return True
+        return False
+
+    def access_fails(self, component: str) -> bool:
+        if self.plan.transient_probability <= 0.0:
+            return False
+        if self._rng.random() < self.plan.transient_probability:
+            self._count("transient")
+            return True
+        return False
+
+    def degradation_factor(self, component: str, now: float) -> float:
+        factor = 1.0
+        for window in self.plan.degradations:
+            if window.component == component and window.at <= now < window.until:
+                factor *= window.factor
+        if factor > 1.0:
+            self._count("degraded_op")
+        return factor
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def _count(self, kind: str) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    def downtime(self, horizon: float) -> Dict[str, float]:
+        """Per-component total down duration, clipped to ``[0, horizon]``
+        with overlapping windows merged."""
+        by_component: Dict[str, List[Tuple[float, float]]] = {}
+        for window in self.plan.crashes:
+            lo = min(window.at, horizon)
+            hi = min(window.up_at, horizon)
+            if hi > lo:
+                by_component.setdefault(window.component, []).append((lo, hi))
+        result: Dict[str, float] = {}
+        for component, intervals in by_component.items():
+            intervals.sort()
+            total = 0.0
+            cur_lo, cur_hi = intervals[0]
+            for lo, hi in intervals[1:]:
+                if lo > cur_hi:
+                    total += cur_hi - cur_lo
+                    cur_lo, cur_hi = lo, hi
+                else:
+                    cur_hi = max(cur_hi, hi)
+            total += cur_hi - cur_lo
+            result[component] = total
+        return result

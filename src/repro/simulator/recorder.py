@@ -60,6 +60,13 @@ class ExecutionRecorder:
         self._seq = 0
         self._committed_txns: Dict[str, Dict[str, List[Tuple[str, int]]]] = {}
         self._committed_comp: Dict[str, Dict[str, str]] = {}
+        #: wasted-work accounting: attempts thrown away by aborts (any
+        #: reason — protocol races, timeouts, injected faults) and the
+        #: operations they had already performed.  Only *committed*
+        #: attempts enter the assembled execution, so these counters are
+        #: the recorder-side proof that aborted work leaves no trace.
+        self.discarded_attempts = 0
+        self.discarded_operations = 0
 
     # ------------------------------------------------------------------
     # per-attempt logging
@@ -112,7 +119,10 @@ class ExecutionRecorder:
         self._committed_comp[root] = self._txn_component.pop(root)
 
     def discard_attempt(self, root: str) -> None:
-        self._ops.pop(root, None)
+        ops = self._ops.pop(root, None)
+        if ops is not None:
+            self.discarded_attempts += 1
+            self.discarded_operations += len(ops)
         self._txn_steps.pop(root, None)
         self._txn_component.pop(root, None)
 

@@ -1,0 +1,164 @@
+"""Pluggable retry policies for aborted composite transactions.
+
+The engine used to hard-code linear backoff (``retry_backoff *
+attempt``, uniformly jittered).  This module extracts that decision
+into a small policy object with two responsibilities:
+
+* **pacing** — :meth:`RetryPolicy.delay` computes how long an aborted
+  root waits before its next attempt;
+* **giving up** — :meth:`RetryPolicy.should_retry` decides whether a
+  root retries at all, which lets a policy react to *why* the attempt
+  died: an abort caused by a crashed component is a different signal
+  than losing a protocol race, and a policy can declare some reasons
+  non-retryable or give each reason its own budget.
+
+All policies draw jitter from the RNG they are handed (the engine
+passes its seeded stream), so runs stay bit-for-bit deterministic.
+:class:`LinearBackoff` with default parameters reproduces the legacy
+engine behaviour exactly — same formula, same single RNG draw per
+retry — so existing seeded tests are unaffected.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, FrozenSet, Iterable, Optional
+
+from repro.exceptions import SimulationError
+
+
+class RetryPolicy:
+    """Decides whether and when an aborted root transaction retries.
+
+    ``non_retryable`` abort reasons make the root give up immediately;
+    ``reason_budgets`` caps how many aborts of one reason a root absorbs
+    before giving up (independent of the global ``max_attempts``).
+    """
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        *,
+        non_retryable: Iterable[str] = (),
+        reason_budgets: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.non_retryable: FrozenSet[str] = frozenset(non_retryable)
+        self.reason_budgets: Dict[str, int] = dict(reason_budgets or {})
+
+    # ------------------------------------------------------------------
+    def delay(
+        self, attempt: int, rng: random.Random, last_delay: float = 0.0
+    ) -> float:
+        """Backoff before attempt ``attempt + 1`` (``attempt`` >= 1 is
+        the attempt that just aborted).  ``last_delay`` is the delay the
+        root waited before the aborted attempt (0.0 on the first abort);
+        only decorrelated jitter uses it."""
+        raise NotImplementedError
+
+    def should_retry(
+        self,
+        attempt: int,
+        max_attempts: int,
+        reason: str,
+        reason_count: int,
+    ) -> bool:
+        """``True`` when the root should attempt again.
+
+        ``attempt`` attempts have run so far, the last aborting with
+        ``reason`` (its ``reason_count``-th abort for that reason)."""
+        if attempt >= max_attempts:
+            return False
+        if reason in self.non_retryable:
+            return False
+        budget = self.reason_budgets.get(reason)
+        if budget is not None and reason_count >= budget:
+            return False
+        return True
+
+
+class LinearBackoff(RetryPolicy):
+    """``U(0, base * attempt) + floor`` — the legacy engine behaviour."""
+
+    name = "linear"
+
+    def __init__(self, base: float = 3.0, *, floor: float = 0.01, **kw) -> None:
+        super().__init__(**kw)
+        self.base = base
+        self.floor = floor
+
+    def delay(
+        self, attempt: int, rng: random.Random, last_delay: float = 0.0
+    ) -> float:
+        return rng.random() * (self.base * attempt) + self.floor
+
+
+class ExponentialBackoff(RetryPolicy):
+    """``U(0, min(cap, base * 2**(attempt-1))) + floor`` (full jitter)."""
+
+    name = "exponential"
+
+    def __init__(
+        self,
+        base: float = 1.0,
+        *,
+        cap: float = 60.0,
+        floor: float = 0.01,
+        **kw,
+    ) -> None:
+        super().__init__(**kw)
+        self.base = base
+        self.cap = cap
+        self.floor = floor
+
+    def delay(
+        self, attempt: int, rng: random.Random, last_delay: float = 0.0
+    ) -> float:
+        ceiling = min(self.cap, self.base * (2.0 ** (attempt - 1)))
+        return rng.random() * ceiling + self.floor
+
+
+class DecorrelatedJitterBackoff(RetryPolicy):
+    """``min(cap, U(base, 3 * max(last_delay, base)))`` — the AWS
+    "decorrelated jitter" scheme: each delay is drawn relative to the
+    previous one, which spreads synchronized retry storms apart faster
+    than independent jitter."""
+
+    name = "decorrelated-jitter"
+
+    def __init__(
+        self, base: float = 1.0, *, cap: float = 60.0, **kw
+    ) -> None:
+        super().__init__(**kw)
+        self.base = base
+        self.cap = cap
+
+    def delay(
+        self, attempt: int, rng: random.Random, last_delay: float = 0.0
+    ) -> float:
+        previous = max(last_delay, self.base)
+        return min(self.cap, rng.uniform(self.base, previous * 3.0))
+
+
+#: policy id -> factory taking the config's ``retry_backoff`` as base
+POLICIES: Dict[str, Callable[..., RetryPolicy]] = {
+    LinearBackoff.name: LinearBackoff,
+    ExponentialBackoff.name: ExponentialBackoff,
+    DecorrelatedJitterBackoff.name: DecorrelatedJitterBackoff,
+}
+
+
+def make_retry_policy(
+    spec: "str | RetryPolicy", *, base: float = 3.0, **kw
+) -> RetryPolicy:
+    """Resolve a policy: an instance passes through, a name is
+    instantiated with ``base`` (the config's ``retry_backoff``)."""
+    if isinstance(spec, RetryPolicy):
+        return spec
+    try:
+        factory = POLICIES[spec]
+    except KeyError:
+        raise SimulationError(
+            f"unknown retry policy {spec!r}; choose from {sorted(POLICIES)}"
+        ) from None
+    return factory(base, **kw)

@@ -1,0 +1,251 @@
+"""Tests for the fault-injection layer: determinism, every failure
+mode, downtime/availability accounting, and the safety claim (faults
+never break Comp-C of what gets committed)."""
+
+import pytest
+
+from repro.core.correctness import check_composite_correctness
+from repro.exceptions import CompositeTxError, FaultError, SimulationError
+from repro.simulator import Simulation, SimulationConfig, simulate
+from repro.simulator.faults import (
+    CrashWindow,
+    Degradation,
+    FaultInjector,
+    FaultPlan,
+    random_fault_plan,
+)
+from repro.simulator.metrics import Metrics
+from repro.simulator.programs import AccessStep, Program, ProgramConfig
+from repro.workloads.topologies import join_topology, stack_topology
+
+
+class TestPlanValidation:
+    def test_fault_error_in_hierarchy(self):
+        assert issubclass(FaultError, SimulationError)
+        assert issubclass(FaultError, CompositeTxError)
+
+    def test_bad_probability(self):
+        with pytest.raises(FaultError):
+            FaultPlan(drop_probability=1.5)
+        with pytest.raises(FaultError):
+            FaultPlan(transient_probability=-0.1)
+
+    def test_bad_windows(self):
+        with pytest.raises(FaultError):
+            CrashWindow("A", at=-1.0, down_for=1.0)
+        with pytest.raises(FaultError):
+            CrashWindow("A", at=0.0, down_for=0.0)
+        with pytest.raises(FaultError):
+            Degradation("A", at=0.0, duration=1.0, factor=0.5)
+
+    def test_unknown_component_rejected(self):
+        plan = FaultPlan(crashes=(CrashWindow("ZZ", 1.0, 1.0),))
+        with pytest.raises(FaultError):
+            FaultInjector(plan, ["L1", "L2"])
+
+    def test_config_rejects_non_plan(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(topology=stack_topology(1), faults="chaos!")
+
+    def test_random_plan_deterministic(self):
+        names = stack_topology(3).schedule_names
+        a = random_fault_plan(names, seed=4, intensity=1.0)
+        b = random_fault_plan(names, seed=4, intensity=1.0)
+        assert a == b
+        assert a != random_fault_plan(names, seed=5, intensity=1.0)
+
+    def test_zero_intensity_plan_is_empty(self):
+        plan = random_fault_plan(["A", "B"], seed=0, intensity=0.0)
+        assert plan.empty
+
+
+def chaos_config(seed=0, **kw):
+    topology = kw.pop("topology", stack_topology(2))
+    defaults = dict(
+        topology=topology,
+        protocol="cc",
+        clients=3,
+        transactions_per_client=5,
+        seed=seed,
+        program=ProgramConfig(items_per_component=4, item_skew=0.8),
+        faults=random_fault_plan(
+            topology.schedule_names, seed=seed, intensity=1.0
+        ),
+    )
+    defaults.update(kw)
+    return SimulationConfig(**defaults)
+
+
+class TestDeterminism:
+    def test_identical_runs_bit_for_bit(self):
+        a = simulate(chaos_config(seed=3))
+        b = simulate(chaos_config(seed=3))
+        assert a.metrics.summary() == b.metrics.summary()
+        assert a.metrics.aborts_by_reason == b.metrics.aborts_by_reason
+        assert a.metrics.downtime == b.metrics.downtime
+        if a.assembled is not None:
+            assert (
+                a.assembled.recorded.executions
+                == b.assembled.recorded.executions
+            )
+
+    def test_faults_do_not_perturb_workload_stream(self):
+        # same seed, faults on vs off: the fault-free run must be
+        # byte-identical to a run that never had a plan attached,
+        # because the injector draws from its own RNG
+        base = simulate(chaos_config(seed=1, faults=None))
+        empty = simulate(
+            chaos_config(seed=1, faults=FaultPlan())
+        )
+        assert base.metrics.summary() == empty.metrics.summary()
+
+
+class TestFailureModes:
+    def test_permanent_crash_starves_dependent_roots(self):
+        # the stack's leaf is down from the start: every root whose
+        # program calls into it fails fast and eventually gives up
+        plan = FaultPlan(crashes=(CrashWindow("L1", 0.0, 1e9),))
+        res = simulate(
+            chaos_config(seed=0, faults=plan, max_attempts=3)
+        )
+        m = res.metrics
+        assert m.commits + m.gave_up == 15
+        assert m.gave_up > 0
+        assert m.aborts_by_reason["component_down"] > 0
+        assert m.availability < 1.0
+        assert m.root_failure_rate > 0.0
+
+    def test_crash_and_recovery(self):
+        # one mid-run crash window: roots die with reason "crash",
+        # service resumes, and all roots finish
+        plan = FaultPlan(crashes=(CrashWindow("L1", 2.0, 5.0),))
+        sim = Simulation(
+            chaos_config(seed=0, faults=plan, think_time=0.1)
+        )
+        res = sim.run()
+        m = res.metrics
+        assert m.commits + m.gave_up == 15
+        assert m.faults_injected.get("crash") == 1
+        assert m.downtime["L1"] == pytest.approx(5.0)
+        assert 0.0 < m.availability < 1.0
+        # discarded attempts carried recorded operations away with them
+        assert sim.recorder.discarded_attempts >= m.total_aborts - (
+            m.aborts_by_reason.get("component_down", 0)
+        )
+
+    def test_degradation_scales_response_times(self):
+        # a whole-run degradation window multiplies exponential service
+        # draws, so same-seed response times are strictly slower
+        slow_plan = FaultPlan(
+            degradations=(Degradation("L1", 0.0, 1e9, factor=5.0),)
+        )
+        fast = simulate(chaos_config(seed=2, faults=None))
+        slow = simulate(chaos_config(seed=2, faults=slow_plan))
+        assert (
+            slow.metrics.mean_response_time
+            > fast.metrics.mean_response_time
+        )
+        assert slow.metrics.faults_injected["degraded_op"] > 0
+        # degradation never aborts anything by itself
+        assert (
+            slow.metrics.aborts_by_reason.keys()
+            <= fast.metrics.aborts_by_reason.keys() | {"protocol", "timeout"}
+        )
+
+    def test_message_drops_abort_calls(self):
+        plan = FaultPlan(drop_probability=1.0, seed=9)
+        res = simulate(
+            chaos_config(seed=0, faults=plan, max_attempts=2)
+        )
+        m = res.metrics
+        assert m.aborts_by_reason["message_drop"] > 0
+        # every root whose program delegates at least one call dies
+        assert m.gave_up > 0
+
+    def test_transient_failures_abort_accesses(self):
+        plan = FaultPlan(transient_probability=1.0, seed=9)
+        res = simulate(
+            chaos_config(seed=0, faults=plan, max_attempts=2)
+        )
+        m = res.metrics
+        assert m.commits == 0
+        assert m.gave_up == 15
+        assert m.aborts_by_reason == {"transient": 30}
+        assert m.giveups_by_reason == {"transient": 15}
+
+
+class TestSafetyUnderFaults:
+    @pytest.mark.parametrize("protocol", ["cc", "s2pl"])
+    def test_committed_executions_stay_comp_c(self, protocol):
+        for seed in range(3):
+            res = simulate(
+                chaos_config(
+                    seed=seed,
+                    topology=join_topology(3),
+                    protocol=protocol,
+                )
+            )
+            if res.assembled is None:
+                continue
+            report = check_composite_correctness(
+                res.assembled.recorded.system
+            )
+            assert report.correct, (protocol, seed)
+
+    def test_assembly_survives_heavy_faults(self):
+        # an aggressive plan: the recorder must still assemble whatever
+        # committed, and only committed roots appear
+        res = simulate(
+            chaos_config(
+                seed=1,
+                faults=random_fault_plan(
+                    stack_topology(2).schedule_names,
+                    seed=1,
+                    intensity=3.0,
+                    drop_probability=0.1,
+                    transient_probability=0.1,
+                ),
+            )
+        )
+        if res.assembled is not None:
+            assert (
+                len(res.assembled.committed_roots) == res.metrics.commits
+            )
+
+
+class TestAccounting:
+    def test_availability_formula(self):
+        m = Metrics(end_time=10.0, components=2, downtime={"A": 5.0})
+        assert m.availability == pytest.approx(0.75)
+        assert Metrics().availability == 1.0
+
+    def test_downtime_merges_overlapping_windows(self):
+        plan = FaultPlan(
+            crashes=(
+                CrashWindow("A", 0.0, 5.0),
+                CrashWindow("A", 3.0, 4.0),
+                CrashWindow("B", 8.0, 10.0),
+            )
+        )
+        injector = FaultInjector(plan, ["A", "B"])
+        down = injector.downtime(10.0)
+        assert down["A"] == pytest.approx(7.0)
+        assert down["B"] == pytest.approx(2.0)  # clipped at the horizon
+
+    def test_summary_includes_new_fields(self):
+        summary = simulate(chaos_config(seed=0)).metrics.summary()
+        for key in (
+            "availability",
+            "root_failure_rate",
+            "fault_aborts",
+            "p50_response_time",
+        ):
+            assert key in summary
+
+    def test_abort_breakdown_rendering(self):
+        m = Metrics()
+        assert m.abort_breakdown() == "-"
+        m.record_abort("timeout")
+        m.record_abort("crash")
+        m.record_abort("crash")
+        assert m.abort_breakdown() == "crash:2 timeout:1"

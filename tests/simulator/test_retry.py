@@ -1,0 +1,131 @@
+"""Unit and integration tests for the pluggable retry policies."""
+
+import random
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulator import SimulationConfig, simulate
+from repro.simulator.faults import CrashWindow, FaultPlan
+from repro.simulator.programs import ProgramConfig
+from repro.simulator.retry import (
+    POLICIES,
+    DecorrelatedJitterBackoff,
+    ExponentialBackoff,
+    LinearBackoff,
+    RetryPolicy,
+    make_retry_policy,
+)
+from repro.workloads.topologies import stack_topology
+
+
+class TestDelays:
+    def test_linear_matches_legacy_formula(self):
+        # the engine used to compute rng.random() * (backoff * attempt)
+        # + 0.01 inline; LinearBackoff must reproduce it draw-for-draw
+        policy = make_retry_policy("linear", base=3.0)
+        rng_a, rng_b = random.Random(7), random.Random(7)
+        for attempt in (1, 2, 5):
+            expected = rng_b.random() * (3.0 * attempt) + 0.01
+            assert policy.delay(attempt, rng_a) == expected
+
+    def test_exponential_growth_and_cap(self):
+        policy = ExponentialBackoff(base=2.0, cap=10.0)
+        rng = random.Random(0)
+        for attempt in range(1, 12):
+            ceiling = min(10.0, 2.0 * 2 ** (attempt - 1))
+            delay = policy.delay(attempt, rng)
+            assert 0.01 <= delay <= ceiling + 0.01
+
+    def test_decorrelated_jitter_bounds(self):
+        policy = DecorrelatedJitterBackoff(base=1.0, cap=20.0)
+        rng = random.Random(3)
+        last = 0.0
+        for attempt in range(1, 30):
+            delay = policy.delay(attempt, rng, last)
+            assert 1.0 <= delay <= 20.0
+            assert delay <= max(last, 1.0) * 3.0
+            last = delay
+
+    def test_instance_passes_through(self):
+        policy = LinearBackoff(base=9.0)
+        assert make_retry_policy(policy) is policy
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SimulationError):
+            make_retry_policy("fibonacci")
+
+
+class TestGiveUp:
+    def test_global_attempt_budget(self):
+        policy = LinearBackoff()
+        assert policy.should_retry(1, 3, "protocol", 1)
+        assert policy.should_retry(2, 3, "protocol", 2)
+        assert not policy.should_retry(3, 3, "protocol", 3)
+
+    def test_non_retryable_reason(self):
+        policy = LinearBackoff(non_retryable={"component_down"})
+        assert policy.should_retry(1, 10, "protocol", 1)
+        assert not policy.should_retry(1, 10, "component_down", 1)
+
+    def test_per_reason_budget(self):
+        policy = LinearBackoff(reason_budgets={"timeout": 2})
+        assert policy.should_retry(1, 10, "timeout", 1)
+        assert not policy.should_retry(2, 10, "timeout", 2)
+        # other reasons only see the global budget:
+        assert policy.should_retry(5, 10, "protocol", 5)
+
+
+class TestEngineIntegration:
+    def _config(self, **kw):
+        return SimulationConfig(
+            topology=stack_topology(2),
+            protocol="cc",
+            clients=3,
+            transactions_per_client=4,
+            seed=2,
+            program=ProgramConfig(items_per_component=3, item_skew=0.9),
+            **kw,
+        )
+
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_every_policy_runs_and_is_deterministic(self, name):
+        a = simulate(self._config(retry_policy=name))
+        b = simulate(self._config(retry_policy=name))
+        assert a.metrics.summary() == b.metrics.summary()
+        assert a.metrics.commits + a.metrics.gave_up == 12
+
+    def test_unknown_policy_rejected_at_config_time(self):
+        with pytest.raises(SimulationError):
+            self._config(retry_policy="fibonacci")
+
+    def test_reason_aware_giveup_stops_hopeless_retries(self):
+        # the only component is down for the whole run; a policy that
+        # treats component_down as non-retryable gives up after one
+        # attempt instead of burning the full budget
+        plan = FaultPlan(crashes=(CrashWindow("L1", 0.0, 1e9),))
+        topology = stack_topology(1)
+
+        def run(policy: RetryPolicy):
+            return simulate(
+                SimulationConfig(
+                    topology=topology,
+                    protocol="cc",
+                    clients=2,
+                    transactions_per_client=2,
+                    seed=0,
+                    max_attempts=6,
+                    faults=plan,
+                    retry_policy=policy,
+                )
+            ).metrics
+
+        stubborn = run(LinearBackoff(base=0.5))
+        decisive = run(
+            LinearBackoff(base=0.5, non_retryable={"component_down"})
+        )
+        assert stubborn.gave_up == 4 and decisive.gave_up == 4
+        assert decisive.aborts_by_reason["component_down"] == 4
+        assert stubborn.aborts_by_reason["component_down"] == 24
+        assert decisive.giveups_by_reason == {"component_down": 4}
+        assert decisive.retries_by_reason == {}
