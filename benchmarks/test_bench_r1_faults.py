@@ -17,9 +17,15 @@ protocols lose correctness for their usual reasons (ghost cycles on
 joins), not because of faults.
 
 The benchmark times one faulty CC cell; the sweep below is the
-artifact table.
+artifact table.  The grid runs through :func:`chaos_grid`, so setting
+``REPRO_BENCH_WORKERS`` shards the (protocol x seed) cells across
+processes — with output identical to the serial run by the batch
+runner's determinism contract.
 """
 
+import os
+
+from repro.analysis.batch import chaos_grid
 from repro.analysis.protocols import evaluate_protocol_under_faults
 from repro.analysis.tables import format_table
 from repro.simulator.programs import ProgramConfig
@@ -29,6 +35,7 @@ PROGRAM = ProgramConfig(items_per_component=4, item_skew=0.8)
 SEEDS = (0, 1)
 INTENSITIES = (0.0, 0.5, 1.0)
 PROTOCOLS = ("cc", "s2pl", "sgt", "to")
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 def one_cell():
@@ -63,19 +70,19 @@ def test_bench_r1_faults(benchmark, emit):
     topologies = [stack_topology(2), join_topology(3)]
     points = []
     for topology in topologies:
-        for protocol in PROTOCOLS:
-            for intensity in INTENSITIES:
-                points.append(
-                    evaluate_protocol_under_faults(
-                        topology,
-                        protocol,
-                        intensity=intensity,
-                        seeds=SEEDS,
-                        clients=3,
-                        transactions_per_client=5,
-                        program=PROGRAM,
-                    )
+        for intensity in INTENSITIES:
+            points.extend(
+                chaos_grid(
+                    topology,
+                    PROTOCOLS,
+                    SEEDS,
+                    workers=WORKERS,
+                    intensity=intensity,
+                    clients=3,
+                    transactions_per_client=5,
+                    program=PROGRAM,
                 )
+            )
 
     # --- assertions: faults attack liveness, never safety --------------
     by_key = {(p.topology, p.protocol, p.intensity): p for p in points}
@@ -130,4 +137,23 @@ def test_bench_r1_faults(benchmark, emit):
                 for p in points
             ],
         ),
+        data={
+            "workers": WORKERS,
+            "points": [
+                {
+                    "topology": p.topology,
+                    "protocol": p.protocol,
+                    "intensity": p.intensity,
+                    "commits": p.commits,
+                    "gave_up": p.gave_up,
+                    "availability": p.availability,
+                    "abort_rate": p.abort_rate,
+                    "aborts_by_reason": p.aborts_by_reason,
+                    "faults_injected": p.faults_injected,
+                    "comp_c_runs": p.comp_c_runs,
+                    "assembled_runs": p.assembled_runs,
+                }
+                for p in points
+            ],
+        },
     )

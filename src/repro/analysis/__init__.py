@@ -19,12 +19,30 @@ from repro.analysis.hierarchy import (
     run_hierarchy_experiment,
     total_violations,
 )
+from repro.analysis.batch import (
+    chaos_grid,
+    merge_metrics,
+    run_batch,
+)
 from repro.analysis.protocols import (
+    ChaosPoint,
+    ChaosRun,
     ProtocolPoint,
+    chaos_run,
     evaluate_protocol,
+    evaluate_protocol_under_faults,
+    merge_chaos_runs,
     protocol_sweep,
 )
-from repro.analysis.scaling import ScalingPoint, checker_scaling, depth_scaling
+from repro.analysis.scaling import (
+    ScalingPoint,
+    SpeedupPoint,
+    SweepSpeedup,
+    checker_scaling,
+    depth_scaling,
+    incremental_speedup,
+    sweep_speedup,
+)
 from repro.analysis.stats import (
     mean,
     proportion_summary,
@@ -53,12 +71,24 @@ __all__ = [
     "judge",
     "run_hierarchy_experiment",
     "total_violations",
+    "ChaosPoint",
+    "ChaosRun",
     "ProtocolPoint",
+    "chaos_grid",
+    "chaos_run",
     "evaluate_protocol",
+    "evaluate_protocol_under_faults",
+    "merge_chaos_runs",
+    "merge_metrics",
     "protocol_sweep",
+    "run_batch",
     "ScalingPoint",
+    "SpeedupPoint",
+    "SweepSpeedup",
     "checker_scaling",
     "depth_scaling",
+    "incremental_speedup",
+    "sweep_speedup",
     "mean",
     "proportion_summary",
     "std_error",

@@ -1,0 +1,163 @@
+"""Parallel batch runner for (config x seed) grids.
+
+Every sweep in the analysis layer — chaos grids, theorem-agreement
+ensembles, hierarchy tables, ablations — is embarrassingly parallel:
+independent simulator or checker runs whose results are folded into a
+summary row.  :func:`run_batch` shards such a grid across a
+``ProcessPoolExecutor`` with chunked dispatch.
+
+Determinism contract
+--------------------
+``run_batch`` returns results **in task-submission order**, whatever
+order the workers finish in.  Callers therefore merge results exactly
+as the serial loop would have (same iteration order, hence the same
+floating-point accumulation order), which makes ``--workers N`` output
+bit-identical to ``--workers 1``.  The serial path (``workers <= 1``)
+calls the very same worker functions in-process, so it *is* the old
+code path, not an approximation of it.
+
+Workers are module-level functions taking one picklable task tuple —
+a requirement of the ``fork``/``spawn`` process pool, and the reason
+the per-run halves of :mod:`repro.analysis.protocols` et al. are
+top-level functions rather than closures.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+
+from repro.simulator.metrics import Metrics
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def run_batch(
+    tasks: Iterable[T],
+    worker: Callable[[T], R],
+    *,
+    workers: int = 1,
+    chunksize: int = 0,
+) -> List[R]:
+    """Run ``worker`` over ``tasks``, results in task order.
+
+    ``workers <= 1`` runs serially in-process.  Otherwise the tasks are
+    dispatched to a process pool in chunks (default: enough chunks for
+    ~4 rounds per worker, amortizing pickling without starving the
+    pool).  ``worker`` must be a module-level (picklable) callable.
+    """
+    task_list = list(tasks)
+    if workers <= 1 or len(task_list) <= 1:
+        return [worker(task) for task in task_list]
+    if chunksize <= 0:
+        chunksize = max(1, math.ceil(len(task_list) / (workers * 4)))
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(task_list))
+    ) as pool:
+        return list(pool.map(worker, task_list, chunksize=chunksize))
+
+
+def merge_metrics(parts: Sequence[Metrics]) -> Metrics:
+    """Fold per-run :class:`Metrics` into one aggregate.
+
+    Counters and per-reason/per-kind maps are summed (order-independent
+    integer arithmetic); ``end_time`` and ``components`` take the max
+    (runs share a horizon, they do not extend each other); response
+    times are concatenated in the order given — pass ``parts`` in task
+    order so derived float statistics are reproducible.
+    """
+    merged = Metrics()
+    for part in parts:
+        merged.commits += part.commits
+        merged.gave_up += part.gave_up
+        merged.operations += part.operations
+        merged.response_times.extend(part.response_times)
+        merged.end_time = max(merged.end_time, part.end_time)
+        merged.components = max(merged.components, part.components)
+        for field in (
+            "aborts_by_reason",
+            "retries_by_reason",
+            "giveups_by_reason",
+            "faults_injected",
+        ):
+            ours = getattr(merged, field)
+            for key, count in getattr(part, field).items():
+                ours[key] = ours.get(key, 0) + count
+        for component, down in part.downtime.items():
+            merged.downtime[component] = (
+                merged.downtime.get(component, 0.0) + down
+            )
+    return merged
+
+
+# ----------------------------------------------------------------------
+# grid builders (the CLI-facing convenience layer)
+# ----------------------------------------------------------------------
+def chaos_grid(
+    topology,
+    protocols: Sequence[str],
+    seeds: Sequence[int],
+    *,
+    workers: int = 1,
+    **kw,
+):
+    """The (protocol x seed) chaos grid, one :class:`ChaosPoint` per
+    protocol.  Equivalent to calling
+    :func:`repro.analysis.protocols.evaluate_protocol_under_faults`
+    per protocol, but with every (protocol, seed) cell an independent
+    task — so ``workers`` parallelizes across protocols *and* seeds."""
+    from repro.analysis.protocols import chaos_run_task, merge_chaos_runs
+
+    tasks = [
+        (topology, protocol, seed, kw)
+        for protocol in protocols
+        for seed in seeds
+    ]
+    runs = run_batch(tasks, chaos_run_task, workers=workers)
+    points = []
+    per = len(seeds)
+    for i, protocol in enumerate(protocols):
+        points.append(
+            merge_chaos_runs(
+                topology.name,
+                protocol,
+                kw.get("intensity", 1.0),
+                runs[i * per:(i + 1) * per],
+            )
+        )
+    return points
+
+
+def ablation_task(task: Tuple) -> bool:
+    """One A1 cell: generate and reduce, with or without forgetting."""
+    from repro.core.observed import ObservedOrderOptions
+    from repro.core.reduction import reduce_to_roots
+    from repro.workloads.generator import generate
+
+    spec, config, forget = task
+    recorded = generate(spec, config)
+    options = ObservedOrderOptions(forget_nonconflicting=forget)
+    return reduce_to_roots(recorded.system, options).succeeded
+
+
+def compare_front_task(task: Tuple[str, int]) -> str:
+    """Load one saved execution and describe its level front — the
+    per-file half of ``repro compare``, shipped to a worker so the two
+    (potentially expensive) reductions run concurrently."""
+    from repro.core.equivalence import front_at_level
+    from repro.exceptions import ReductionError
+    from repro.io import load
+
+    path, level = task
+    system = load(path).system
+    try:
+        front = front_at_level(system, level)
+    except ReductionError as err:
+        return f"{path} @ level {level}: NO FRONT ({err})"
+    obs = ", ".join(f"{x}<{y}" for x, y in front.observed.pairs())
+    return (
+        f"{path} @ level {level}: {{{', '.join(front.nodes)}}}\n"
+        f"  observed: {obs or '(empty)'}"
+    )

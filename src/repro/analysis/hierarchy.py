@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from repro.analysis.batch import run_batch
 from repro.core.correctness import is_composite_correct
 from repro.criteria.llsr import is_llsr
 from repro.criteria.opsr import is_opsr
@@ -70,6 +71,12 @@ def judge(recorded: RecordedExecution) -> Dict[str, bool]:
     }
 
 
+def hierarchy_task(task: Tuple) -> Dict[str, bool]:
+    """Batch worker: generate one stack execution and judge it."""
+    spec, config = task
+    return judge(generate(spec, config))
+
+
 def run_hierarchy_experiment(
     *,
     depth: int = 2,
@@ -80,27 +87,32 @@ def run_hierarchy_experiment(
     layout: str = "random",
     perturbation_swaps: int = 8,
     ops_per_transaction: Tuple[int, int] = (1, 3),
+    workers: int = 1,
 ) -> List[HierarchyRow]:
     """Acceptance rates per criterion per conflict rate."""
     spec = stack_topology(depth)
+    tasks = [
+        (
+            spec,
+            WorkloadConfig(
+                seed=seed + i,
+                roots=roots,
+                conflict_probability=rate,
+                layout=layout,
+                perturbation_swaps=perturbation_swaps,
+                ops_per_transaction=ops_per_transaction,
+            ),
+        )
+        for rate in conflict_rates
+        for i in range(trials)
+    ]
+    results = run_batch(tasks, hierarchy_task, workers=workers)
     rows: List[HierarchyRow] = []
-    for rate in conflict_rates:
+    for r, rate in enumerate(conflict_rates):
         row = HierarchyRow(conflict_probability=rate, trials=trials)
         row.accepted = {name: 0 for name in HIERARCHY}
         row.violations = {pair: 0 for pair in CONTAINMENTS}
-        for i in range(trials):
-            recorded = generate(
-                spec,
-                WorkloadConfig(
-                    seed=seed + i,
-                    roots=roots,
-                    conflict_probability=rate,
-                    layout=layout,
-                    perturbation_swaps=perturbation_swaps,
-                    ops_per_transaction=ops_per_transaction,
-                ),
-            )
-            verdicts = judge(recorded)
+        for verdicts in results[r * trials:(r + 1) * trials]:
             for name, verdict in verdicts.items():
                 if verdict:
                     row.accepted[name] += 1

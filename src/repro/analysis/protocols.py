@@ -12,8 +12,9 @@ correctness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.batch import run_batch
 from repro.core.correctness import is_composite_correct
 from repro.simulator.engine import Simulation, SimulationConfig, simulate
 from repro.simulator.faults import random_fault_plan
@@ -40,6 +41,72 @@ class ProtocolPoint:
         return self.comp_c_runs / self.runs if self.runs else 0.0
 
 
+@dataclass
+class ProtocolRun:
+    """One seeded simulator run of a P1 cell — the picklable unit the
+    batch runner ships between processes."""
+
+    throughput: float
+    abort_rate: float
+    mean_response_time: float
+    comp_c: bool
+
+
+def protocol_run_task(task: Tuple) -> ProtocolRun:
+    """Batch worker: one ``(topology, protocol, clients, seed, kw)``
+    P1 cell run."""
+    topology, protocol, clients, seed, kw = task
+    result = simulate(
+        SimulationConfig(
+            topology=topology,
+            protocol=protocol,
+            clients=clients,
+            transactions_per_client=kw["transactions_per_client"],
+            seed=seed,
+            program=kw["program"],
+            deadlock_timeout=kw["deadlock_timeout"],
+        )
+    )
+    return ProtocolRun(
+        throughput=result.metrics.throughput,
+        abort_rate=result.metrics.abort_rate,
+        mean_response_time=result.metrics.mean_response_time,
+        comp_c=result.assembled is not None
+        and is_composite_correct(result.assembled.recorded.system),
+    )
+
+
+def merge_protocol_runs(
+    topology_name: str,
+    protocol: str,
+    clients: int,
+    runs: Sequence[ProtocolRun],
+) -> ProtocolPoint:
+    """Fold seed runs into one :class:`ProtocolPoint`.
+
+    Accumulates in the order given — pass runs in seed order and the
+    float sums match the historical serial loop bit for bit."""
+    throughput = abort_rate = response = 0.0
+    comp_c_runs = 0
+    for run in runs:
+        throughput += run.throughput
+        abort_rate += run.abort_rate
+        response += run.mean_response_time
+        if run.comp_c:
+            comp_c_runs += 1
+    n = len(runs)
+    return ProtocolPoint(
+        protocol=protocol,
+        topology=topology_name,
+        clients=clients,
+        runs=n,
+        throughput=throughput / n,
+        abort_rate=abort_rate / n,
+        mean_response_time=response / n,
+        comp_c_runs=comp_c_runs,
+    )
+
+
 def evaluate_protocol(
     topology: TopologySpec,
     protocol: str,
@@ -49,41 +116,21 @@ def evaluate_protocol(
     seeds: Sequence[int] = (0, 1, 2),
     program: Optional[ProgramConfig] = None,
     deadlock_timeout: float = 60.0,
+    workers: int = 1,
 ) -> ProtocolPoint:
     """Average one protocol/topology/MPL cell over seeds."""
     program = program or ProgramConfig(items_per_component=4, item_skew=0.8)
-    throughput = abort_rate = response = 0.0
-    comp_c_runs = runs = 0
-    for seed in seeds:
-        result = simulate(
-            SimulationConfig(
-                topology=topology,
-                protocol=protocol,
-                clients=clients,
-                transactions_per_client=transactions_per_client,
-                seed=seed,
-                program=program,
-                deadlock_timeout=deadlock_timeout,
-            )
-        )
-        runs += 1
-        throughput += result.metrics.throughput
-        abort_rate += result.metrics.abort_rate
-        response += result.metrics.mean_response_time
-        if result.assembled is not None and is_composite_correct(
-            result.assembled.recorded.system
-        ):
-            comp_c_runs += 1
-    return ProtocolPoint(
-        protocol=protocol,
-        topology=topology.name,
-        clients=clients,
-        runs=runs,
-        throughput=throughput / runs,
-        abort_rate=abort_rate / runs,
-        mean_response_time=response / runs,
-        comp_c_runs=comp_c_runs,
+    kw = {
+        "transactions_per_client": transactions_per_client,
+        "program": program,
+        "deadlock_timeout": deadlock_timeout,
+    }
+    runs = run_batch(
+        [(topology, protocol, clients, seed, kw) for seed in seeds],
+        protocol_run_task,
+        workers=workers,
     )
+    return merge_protocol_runs(topology.name, protocol, clients, runs)
 
 
 @dataclass
@@ -126,6 +173,136 @@ class ChaosPoint:
         )
 
 
+@dataclass
+class ChaosRun:
+    """One seeded chaos run — the picklable per-task record whose
+    fields mirror exactly what the (historical) serial accumulation
+    loop read off the simulator."""
+
+    commits: int
+    gave_up: int
+    throughput: float
+    abort_rate: float
+    availability: float
+    discarded_operations: int
+    aborts_by_reason: Dict[str, int]
+    faults_injected: Dict[str, int]
+    assembled: bool
+    comp_c: bool
+
+
+def chaos_run(
+    topology: TopologySpec,
+    protocol: str,
+    seed: int,
+    *,
+    intensity: float = 1.0,
+    clients: int = 3,
+    transactions_per_client: int = 5,
+    program: Optional[ProgramConfig] = None,
+    retry_policy: Union[str, RetryPolicy] = "linear",
+    max_attempts: int = 10,
+    horizon: float = 120.0,
+    **plan_kw,
+) -> ChaosRun:
+    """One seeded chaos run of ``protocol`` under a random fault plan,
+    with the committed execution re-checked by the Comp-C reduction."""
+    program = program or ProgramConfig(items_per_component=4, item_skew=0.8)
+    plan = random_fault_plan(
+        topology.schedule_names,
+        seed=seed,
+        intensity=intensity,
+        horizon=horizon,
+        **plan_kw,
+    )
+    sim = Simulation(
+        SimulationConfig(
+            topology=topology,
+            protocol=protocol,
+            clients=clients,
+            transactions_per_client=transactions_per_client,
+            seed=seed,
+            program=program,
+            retry_policy=retry_policy,
+            max_attempts=max_attempts,
+            faults=plan if not plan.empty else None,
+        )
+    )
+    result = sim.run()
+    metrics = result.metrics
+    assembled = result.assembled is not None
+    return ChaosRun(
+        commits=metrics.commits,
+        gave_up=metrics.gave_up,
+        throughput=metrics.throughput,
+        abort_rate=metrics.abort_rate,
+        availability=metrics.availability,
+        discarded_operations=sim.recorder.discarded_operations,
+        aborts_by_reason=dict(metrics.aborts_by_reason),
+        faults_injected=dict(metrics.faults_injected),
+        assembled=assembled,
+        comp_c=assembled
+        and is_composite_correct(result.assembled.recorded.system),
+    )
+
+
+def chaos_run_task(task: Tuple) -> ChaosRun:
+    """Batch worker: unpack one ``(topology, protocol, seed, kw)``
+    grid cell (see :func:`repro.analysis.batch.chaos_grid`)."""
+    topology, protocol, seed, kw = task
+    return chaos_run(topology, protocol, seed, **kw)
+
+
+def merge_chaos_runs(
+    topology_name: str,
+    protocol: str,
+    intensity: float,
+    runs: Sequence[ChaosRun],
+) -> ChaosPoint:
+    """Fold seed runs into one :class:`ChaosPoint`.
+
+    Replicates the historical serial loop's accumulation order —
+    sums first, averages once at the end — so the result is
+    bit-identical whether the runs were computed serially or by the
+    batch runner (which returns them in seed order)."""
+    point = ChaosPoint(
+        protocol=protocol,
+        topology=topology_name,
+        intensity=intensity,
+        runs=0,
+        commits=0,
+        gave_up=0,
+        throughput=0.0,
+        abort_rate=0.0,
+        availability=0.0,
+    )
+    for run in runs:
+        point.runs += 1
+        point.commits += run.commits
+        point.gave_up += run.gave_up
+        point.throughput += run.throughput
+        point.abort_rate += run.abort_rate
+        point.availability += run.availability
+        point.discarded_operations += run.discarded_operations
+        for reason, count in run.aborts_by_reason.items():
+            point.aborts_by_reason[reason] = (
+                point.aborts_by_reason.get(reason, 0) + count
+            )
+        for kind, count in run.faults_injected.items():
+            point.faults_injected[kind] = (
+                point.faults_injected.get(kind, 0) + count
+            )
+        if run.assembled:
+            point.assembled_runs += 1
+            if run.comp_c:
+                point.comp_c_runs += 1
+    if point.runs:
+        point.throughput /= point.runs
+        point.abort_rate /= point.runs
+        point.availability /= point.runs
+    return point
+
+
 def evaluate_protocol_under_faults(
     topology: TopologySpec,
     protocol: str,
@@ -138,6 +315,7 @@ def evaluate_protocol_under_faults(
     retry_policy: Union[str, RetryPolicy] = "linear",
     max_attempts: int = 10,
     horizon: float = 120.0,
+    workers: int = 1,
     **plan_kw,
 ) -> ChaosPoint:
     """One chaos cell: run ``protocol`` under a seeded random fault
@@ -145,65 +323,22 @@ def evaluate_protocol_under_faults(
     ``intensity``) and re-check every committed execution with the
     Comp-C reduction.  ``plan_kw`` is forwarded to
     :func:`repro.simulator.faults.random_fault_plan`."""
-    program = program or ProgramConfig(items_per_component=4, item_skew=0.8)
-    point = ChaosPoint(
-        protocol=protocol,
-        topology=topology.name,
+    kw = dict(
         intensity=intensity,
-        runs=0,
-        commits=0,
-        gave_up=0,
-        throughput=0.0,
-        abort_rate=0.0,
-        availability=0.0,
+        clients=clients,
+        transactions_per_client=transactions_per_client,
+        program=program,
+        retry_policy=retry_policy,
+        max_attempts=max_attempts,
+        horizon=horizon,
+        **plan_kw,
     )
-    for seed in seeds:
-        plan = random_fault_plan(
-            topology.schedule_names,
-            seed=seed,
-            intensity=intensity,
-            horizon=horizon,
-            **plan_kw,
-        )
-        sim = Simulation(
-            SimulationConfig(
-                topology=topology,
-                protocol=protocol,
-                clients=clients,
-                transactions_per_client=transactions_per_client,
-                seed=seed,
-                program=program,
-                retry_policy=retry_policy,
-                max_attempts=max_attempts,
-                faults=plan if not plan.empty else None,
-            )
-        )
-        result = sim.run()
-        metrics = result.metrics
-        point.runs += 1
-        point.commits += metrics.commits
-        point.gave_up += metrics.gave_up
-        point.throughput += metrics.throughput
-        point.abort_rate += metrics.abort_rate
-        point.availability += metrics.availability
-        point.discarded_operations += sim.recorder.discarded_operations
-        for reason, count in metrics.aborts_by_reason.items():
-            point.aborts_by_reason[reason] = (
-                point.aborts_by_reason.get(reason, 0) + count
-            )
-        for kind, count in metrics.faults_injected.items():
-            point.faults_injected[kind] = (
-                point.faults_injected.get(kind, 0) + count
-            )
-        if result.assembled is not None:
-            point.assembled_runs += 1
-            if is_composite_correct(result.assembled.recorded.system):
-                point.comp_c_runs += 1
-    if point.runs:
-        point.throughput /= point.runs
-        point.abort_rate /= point.runs
-        point.availability /= point.runs
-    return point
+    runs = run_batch(
+        [(topology, protocol, seed, kw) for seed in seeds],
+        chaos_run_task,
+        workers=workers,
+    )
+    return merge_chaos_runs(topology.name, protocol, intensity, runs)
 
 
 def protocol_sweep(
@@ -211,16 +346,35 @@ def protocol_sweep(
     protocols: Sequence[str] = ("cc", "s2pl", "sgt", "to"),
     *,
     client_levels: Sequence[int] = (1, 2, 4, 8),
-    **kw,
+    seeds: Sequence[int] = (0, 1, 2),
+    transactions_per_client: int = 8,
+    program: Optional[ProgramConfig] = None,
+    deadlock_timeout: float = 60.0,
+    workers: int = 1,
 ) -> List[ProtocolPoint]:
-    """The full P1 grid."""
-    points: List[ProtocolPoint] = []
-    for topology in topologies:
-        for protocol in protocols:
-            for clients in client_levels:
-                points.append(
-                    evaluate_protocol(
-                        topology, protocol, clients=clients, **kw
-                    )
-                )
-    return points
+    """The full P1 grid, every (cell x seed) an independent task."""
+    program = program or ProgramConfig(items_per_component=4, item_skew=0.8)
+    kw = {
+        "transactions_per_client": transactions_per_client,
+        "program": program,
+        "deadlock_timeout": deadlock_timeout,
+    }
+    cells = [
+        (topology, protocol, clients)
+        for topology in topologies
+        for protocol in protocols
+        for clients in client_levels
+    ]
+    tasks = [
+        (topology, protocol, clients, seed, kw)
+        for topology, protocol, clients in cells
+        for seed in seeds
+    ]
+    runs = run_batch(tasks, protocol_run_task, workers=workers)
+    per = len(seeds)
+    return [
+        merge_protocol_runs(
+            topology.name, protocol, clients, runs[i * per:(i + 1) * per]
+        )
+        for i, (topology, protocol, clients) in enumerate(cells)
+    ]

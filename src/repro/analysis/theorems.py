@@ -10,8 +10,9 @@ be constructively certified in both directions (Theorem 1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.analysis.batch import run_batch
 from repro.core.certificates import validate_failure_certificate
 from repro.core.correctness import is_composite_correct
 from repro.core.reduction import reduce_to_roots
@@ -44,6 +45,32 @@ class AgreementRow:
         return self.trials - self.agreements
 
 
+def _ensemble_configs(
+    *,
+    trials: int,
+    conflict_rates: Sequence[float],
+    roots: int,
+    seed: int,
+) -> List[WorkloadConfig]:
+    """The workload grid behind an ensemble — the picklable half of
+    :func:`_ensemble`, shipped to batch workers instead of the
+    generated executions themselves."""
+    out = []
+    per_rate = max(1, trials // len(conflict_rates))
+    for rate in conflict_rates:
+        for i in range(per_rate):
+            out.append(
+                WorkloadConfig(
+                    seed=seed + i,
+                    roots=roots,
+                    conflict_probability=rate,
+                    layout="random",
+                    intra_order_probability=0.25,
+                )
+            )
+    return out
+
+
 def _ensemble(
     spec: TopologySpec,
     *,
@@ -52,23 +79,22 @@ def _ensemble(
     roots: int,
     seed: int,
 ) -> List[RecordedExecution]:
-    out = []
-    per_rate = max(1, trials // len(conflict_rates))
-    for rate in conflict_rates:
-        for i in range(per_rate):
-            out.append(
-                generate(
-                    spec,
-                    WorkloadConfig(
-                        seed=seed + i,
-                        roots=roots,
-                        conflict_probability=rate,
-                        layout="random",
-                        intra_order_probability=0.25,
-                    ),
-                )
-            )
-    return out
+    return [
+        generate(spec, config)
+        for config in _ensemble_configs(
+            trials=trials, conflict_rates=conflict_rates, roots=roots,
+            seed=seed,
+        )
+    ]
+
+
+def agreement_task(task: Tuple) -> Tuple[bool, bool]:
+    """Batch worker: one agreement trial.  Returns (agrees, comp_c)."""
+    spec, config, criterion = task
+    recorded = generate(spec, config)
+    special = criterion(recorded.system)
+    comp = is_composite_correct(recorded.system)
+    return special == comp, comp
 
 
 def agreement_experiment(
@@ -80,22 +106,31 @@ def agreement_experiment(
     conflict_rates: Sequence[float] = (0.05, 0.15, 0.3, 0.5),
     roots: int = 3,
     seed: int = 0,
+    workers: int = 1,
 ) -> AgreementRow:
-    """Comp-C vs one special-case criterion on one configuration."""
-    agreements = accepted = total = 0
-    for recorded in _ensemble(
-        spec, trials=trials, conflict_rates=conflict_rates, roots=roots,
-        seed=seed,
-    ):
-        total += 1
-        special = criterion(recorded.system)
-        comp = is_composite_correct(recorded.system)
-        if special == comp:
+    """Comp-C vs one special-case criterion on one configuration.
+
+    ``criterion`` must be a module-level function (``is_scc`` etc.) so
+    the trials can be shipped to batch workers when ``workers > 1``."""
+    configs = _ensemble_configs(
+        trials=trials, conflict_rates=conflict_rates, roots=roots, seed=seed
+    )
+    results = run_batch(
+        [(spec, config, criterion) for config in configs],
+        agreement_task,
+        workers=workers,
+    )
+    agreements = accepted = 0
+    for agrees, comp in results:
+        if agrees:
             agreements += 1
         if comp:
             accepted += 1
     return AgreementRow(
-        label=label, trials=total, agreements=agreements, accepted=accepted
+        label=label,
+        trials=len(results),
+        agreements=agreements,
+        accepted=accepted,
     )
 
 
@@ -163,11 +198,23 @@ class Theorem1Row:
         )
 
 
+def theorem1_task(task: Tuple) -> Tuple[bool, bool, bool]:
+    """Batch worker: one constructive Theorem-1 trial.  Returns
+    (accepted, witness_valid, certificate_valid)."""
+    spec, config = task
+    recorded = generate(spec, config)
+    result = reduce_to_roots(recorded.system)
+    if result.succeeded:
+        return True, verify_theorem1_if_direction(result), False
+    return False, False, validate_failure_certificate(result)
+
+
 def theorem1_experiment(
     *,
     trials: int = 60,
     seed: int = 0,
     conflict_rates: Sequence[float] = (0.1, 0.3, 0.5),
+    workers: int = 1,
 ) -> List[Theorem1Row]:
     """Both directions of Theorem 1, constructively, per configuration."""
     # Per-configuration conflict rates: deeper/wider systems compound
@@ -179,29 +226,31 @@ def theorem1_experiment(
         ("join x3", join_topology(3), 3, conflict_rates),
         ("dag 3x2", random_dag_topology(3, 2, seed=1), 4, (0.02, 0.06, 0.15)),
     ]
-    rows: List[Theorem1Row] = []
+    tasks = []
+    bounds = []
     for label, spec, roots, rates in specs:
-        accepted = witnesses = certificates = total = 0
-        for recorded in _ensemble(
-            spec,
-            trials=trials,
-            conflict_rates=rates,
-            roots=roots,
-            seed=seed,
-        ):
-            total += 1
-            result = reduce_to_roots(recorded.system)
-            if result.succeeded:
+        configs = _ensemble_configs(
+            trials=trials, conflict_rates=rates, roots=roots, seed=seed
+        )
+        bounds.append((label, len(configs)))
+        tasks.extend((spec, config) for config in configs)
+    results = run_batch(tasks, theorem1_task, workers=workers)
+    rows: List[Theorem1Row] = []
+    offset = 0
+    for label, count in bounds:
+        accepted = witnesses = certificates = 0
+        for ok, witness, certificate in results[offset:offset + count]:
+            if ok:
                 accepted += 1
-                if verify_theorem1_if_direction(result):
+                if witness:
                     witnesses += 1
-            else:
-                if validate_failure_certificate(result):
-                    certificates += 1
+            elif certificate:
+                certificates += 1
+        offset += count
         rows.append(
             Theorem1Row(
                 label=label,
-                trials=total,
+                trials=count,
                 accepted=accepted,
                 witnesses_valid=witnesses,
                 certificates_valid=certificates,

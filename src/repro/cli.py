@@ -55,6 +55,16 @@ def _topology(args: argparse.Namespace):
     raise SystemExit(f"unknown topology {kind!r}")
 
 
+def _add_workers_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard independent runs across N processes (1 = serial; "
+        "output is bit-identical either way)",
+    )
+
+
 def _add_topology_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--topology",
@@ -73,6 +83,37 @@ def cmd_check(args: argparse.Namespace) -> int:
     recorded = load(args.file)
     report = check_composite_correctness(recorded.system)
     print(report.narrative())
+    if args.profile:
+        print()
+        print(banner("reduction profile"))
+        rows = [
+            [
+                p.level,
+                f"{p.seconds * 1000:.2f}",
+                p.closure_calls,
+                p.closure_rows,
+                p.nodes,
+                p.observed_pairs,
+            ]
+            for p in report.reduction.profile
+        ]
+        totals = report.reduction.profile_totals()
+        rows.append(
+            [
+                "total",
+                f"{totals['seconds'] * 1000:.2f}",
+                int(totals["closure_calls"]),
+                int(totals["closure_rows"]),
+                "",
+                "",
+            ]
+        )
+        print(
+            format_table(
+                ["level", "ms", "closures", "rows", "nodes", "obs pairs"],
+                rows,
+            )
+        )
     if not report.correct and args.explain:
         print()
         print(report.explain())
@@ -169,22 +210,20 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.analysis.protocols import evaluate_protocol_under_faults
+    from repro.analysis.batch import chaos_grid
 
     spec = _topology(args)
     protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
-    points = [
-        evaluate_protocol_under_faults(
-            spec,
-            protocol,
-            intensity=args.intensity,
-            seeds=tuple(range(args.seed, args.seed + args.runs)),
-            clients=args.clients,
-            transactions_per_client=args.transactions,
-            retry_policy=args.retry_policy,
-        )
-        for protocol in protocols
-    ]
+    points = chaos_grid(
+        spec,
+        protocols,
+        tuple(range(args.seed, args.seed + args.runs)),
+        workers=args.workers,
+        intensity=args.intensity,
+        clients=args.clients,
+        transactions_per_client=args.transactions,
+        retry_policy=args.retry_policy,
+    )
     print(
         format_table(
             [
@@ -251,7 +290,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     if name == "t1":
         from repro.analysis.theorems import theorem1_experiment
 
-        rows = theorem1_experiment(trials=args.trials)
+        rows = theorem1_experiment(trials=args.trials, workers=args.workers)
         print(
             format_table(
                 ["configuration", "trials", "accepted", "witnesses", "certificates"],
@@ -273,7 +312,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             "t2": theorem2_rows,
             "t3": theorem3_rows,
             "t4": theorem4_rows,
-        }[name](trials=args.trials)
+        }[name](trials=args.trials, workers=args.workers)
         print(
             format_table(
                 ["configuration", "trials", "agreements", "accepted"],
@@ -288,7 +327,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             total_violations,
         )
 
-        rows = run_hierarchy_experiment(trials=args.trials)
+        rows = run_hierarchy_experiment(
+            trials=args.trials, workers=args.workers
+        )
         print(
             format_table(
                 ["conflict rate"] + list(HIERARCHY),
@@ -302,7 +343,11 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         print(f"containment violations: {total_violations(rows)}")
         return 0 if total_violations(rows) == 0 else 2
     if name == "p2":
-        from repro.analysis.scaling import checker_scaling
+        from repro.analysis.scaling import (
+            checker_scaling,
+            incremental_speedup,
+            sweep_speedup,
+        )
 
         points = checker_scaling(repeats=2)
         print(
@@ -314,30 +359,61 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                 ],
             )
         )
-        return 0
-    if name == "a1":
-        from repro.core.observed import ObservedOrderOptions
-        from repro.core.reduction import reduce_to_roots as rtr
-        from repro.workloads.generator import WorkloadConfig as WC
-        from repro.workloads.generator import generate as gen
-
-        ensemble = [
-            gen(stack_topology(2), WC(seed=s, conflict_probability=0.2))
-            for s in range(args.trials)
-        ]
-        base = sum(rtr(r.system).succeeded for r in ensemble)
-        ablated = sum(
-            rtr(
-                r.system, ObservedOrderOptions(forget_nonconflicting=False)
-            ).succeeded
-            for r in ensemble
+        print()
+        print(banner("incremental closure vs from-scratch"))
+        speedups = incremental_speedup(repeats=2)
+        print(
+            format_table(
+                ["topology", "nodes", "scratch ms", "incr ms", "speedup",
+                 "rows", "verdicts"],
+                [
+                    [
+                        s.label,
+                        s.operations,
+                        f"{s.scratch_seconds * 1000:.1f}",
+                        f"{s.incremental_seconds * 1000:.1f}",
+                        f"{s.speedup:.2f}x",
+                        f"{s.incremental_rows}/{s.scratch_rows}",
+                        "same" if s.verdicts_match else "DIFFER",
+                    ]
+                    for s in speedups
+                ],
+            )
         )
+        if args.workers > 1:
+            sweep = sweep_speedup(workers=args.workers)
+            print(
+                f"\n{sweep.label}: {sweep.tasks} tasks, serial "
+                f"{sweep.serial_seconds:.2f}s vs {sweep.workers} workers "
+                f"{sweep.parallel_seconds:.2f}s ({sweep.speedup:.2f}x), "
+                f"results {'identical' if sweep.identical else 'DIFFER'}"
+            )
+        return 0 if all(s.verdicts_match for s in speedups) else 2
+    if name == "a1":
+        from repro.analysis.batch import ablation_task, run_batch
+        from repro.workloads.generator import WorkloadConfig as WC
+
+        spec = stack_topology(2)
+        configs = [
+            WC(seed=s, conflict_probability=0.2) for s in range(args.trials)
+        ]
+        verdicts = run_batch(
+            [
+                (spec, config, forget)
+                for forget in (True, False)
+                for config in configs
+            ],
+            ablation_task,
+            workers=args.workers,
+        )
+        base = sum(verdicts[:len(configs)])
+        ablated = sum(verdicts[len(configs):])
         print(
             format_table(
                 ["variant", "accepted", "of"],
                 [
-                    ["default", base, len(ensemble)],
-                    ["no forgetting", ablated, len(ensemble)],
+                    ["default", base, len(configs)],
+                    ["no forgetting", ablated, len(configs)],
                 ],
             )
         )
@@ -346,12 +422,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    from repro.core.equivalence import (
-        front_at_level,
-        level_equivalent_systems,
-        root_behaviour,
-    )
-    from repro.exceptions import ReductionError
+    from repro.analysis.batch import compare_front_task, run_batch
+    from repro.core.equivalence import level_equivalent_systems
 
     a = load(args.file_a).system
     b = load(args.file_b).system
@@ -363,17 +435,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
             raise SystemExit(f"--rename expects old=new, got {pair!r}")
         old, new = pair.split("=", 1)
         rename[old] = new
-    for label, system, level in (
-        (args.file_a, a, level_a),
-        (args.file_b, b, level_b),
-    ):
-        try:
-            front = front_at_level(system, level)
-            obs = ", ".join(f"{x}<{y}" for x, y in front.observed.pairs())
-            print(f"{label} @ level {level}: {{{', '.join(front.nodes)}}}")
-            print(f"  observed: {obs or '(empty)'}")
-        except ReductionError as err:
-            print(f"{label} @ level {level}: NO FRONT ({err})")
+    descriptions = run_batch(
+        [(args.file_a, level_a), (args.file_b, level_b)],
+        compare_front_task,
+        workers=args.workers,
+    )
+    for description in descriptions:
+        print(description)
     equivalent = level_equivalent_systems(
         a, level_a, b, level_b, rename=rename or None
     )
@@ -420,6 +488,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="on rejection, trace the counterexample cycle back to "
         "concrete conflicting accesses",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-level reduction profile (wall time, "
+        "closure calls, bitset rows touched)",
     )
     p.set_defaults(func=cmd_check)
 
@@ -492,6 +566,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 2 when a composite-aware protocol (cc/s2pl) commits "
         "a non-Comp-C execution under faults",
     )
+    _add_workers_option(p)
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("figures", help="walk the paper's figures")
@@ -503,6 +578,7 @@ def build_parser() -> argparse.ArgumentParser:
         "name", choices=("t1", "t2", "t3", "t4", "h1", "p2", "a1")
     )
     p.add_argument("--trials", type=int, default=30)
+    _add_workers_option(p)
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser(
@@ -519,6 +595,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="OLD=NEW",
         help="rename nodes of the first front before comparing",
     )
+    _add_workers_option(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser(

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.conflicts import conflict_pairs
-from repro.core.orders import Relation
+from repro.core.orders import Relation, find_cycle_in_union
 from repro.core.system import CompositeSystem
 
 
@@ -73,13 +73,15 @@ class Front:
         """A witness cycle through ``<_o ∪ →``, or ``None`` when CC.
 
         Reflexive pairs (which the transitive closure of a cyclic
-        observed order contains) are dropped first so the witness is the
-        underlying multi-node cycle rather than a bare self-loop.
+        observed order contains) are dropped so the witness is the
+        underlying multi-node cycle rather than a bare self-loop.  The
+        union is traversed virtually (:func:`find_cycle_in_union`) —
+        materializing ``<_o ∪ →`` per level dominated the checker's
+        profile on dense observed orders.
         """
-        combined = self.combined_order()
-        for node in list(combined.elements):
-            combined.discard(node, node)
-        return combined.find_cycle()
+        return find_cycle_in_union(
+            (self.observed, self.input_weak), skip_self_loops=True
+        )
 
     def is_serial(self) -> bool:
         """Def. 17: the strong input order is total over the nodes."""

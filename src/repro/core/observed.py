@@ -39,7 +39,7 @@ Operational notes (documented in DESIGN.md §2.1):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Tuple
+from typing import Callable, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.core.orders import Relation
 from repro.core.system import CompositeSystem
@@ -75,26 +75,51 @@ def seed_observed_pairs(
     when the operations conflict under ``CON_S`` (or, with
     ``seed_leaf_order``, when either endpoint is a leaf — Def. 10.1).
     """
-    node_list = list(nodes)
+    for sname, members in group_by_schedule(system, nodes).items():
+        yield from schedule_seed_pairs(system, sname, members, options)
+
+
+def group_by_schedule(
+    system: CompositeSystem, nodes: Iterable[str]
+) -> "dict[str, List[str]]":
+    """Group front nodes by their owning schedule, insertion-ordered."""
     by_schedule: dict = {}
-    for node in node_list:
+    for node in nodes:
         owner = system.schedule_of_operation(node)
         if owner is not None:
             by_schedule.setdefault(owner, []).append(node)
-    for sname, members in by_schedule.items():
-        schedule = system.schedule(sname)
-        output = schedule.weak_output
-        for i, a in enumerate(members):
-            for b in members[i + 1:]:
-                forced = schedule.conflicting(a, b)
-                if not forced and options.seed_leaf_order:
-                    forced = system.is_leaf(a) or system.is_leaf(b)
-                if not forced:
-                    continue
-                if (a, b) in output:
-                    yield (a, b)
-                if (b, a) in output:
-                    yield (b, a)
+    return by_schedule
+
+
+def schedule_seed_pairs(
+    system: CompositeSystem,
+    sname: str,
+    members: Sequence[str],
+    options: ObservedOrderOptions = ObservedOrderOptions(),
+) -> Tuple[Tuple[str, str], ...]:
+    """The seed pairs one schedule contributes for ``members``.
+
+    This is the cacheable unit behind :func:`seed_observed_pairs`: the
+    result depends only on ``(sname, members, options)``, so the
+    reduction engine memoizes it per schedule across levels (a schedule
+    whose member set did not change between fronts re-contributes the
+    same — already closed-in — pairs).
+    """
+    schedule = system.schedule(sname)
+    output = schedule.weak_output
+    out: List[Tuple[str, str]] = []
+    for i, a in enumerate(members):
+        for b in members[i + 1:]:
+            forced = schedule.conflicting(a, b)
+            if not forced and options.seed_leaf_order:
+                forced = system.is_leaf(a) or system.is_leaf(b)
+            if not forced:
+                continue
+            if (a, b) in output:
+                out.append((a, b))
+            if (b, a) in output:
+                out.append((b, a))
+    return tuple(out)
 
 
 def pull_up(
@@ -125,24 +150,87 @@ def pull_up(
     while it stays in the front it still witnesses a chain of forced
     orders — only its propagation past the vouching schedule is blocked.
     """
-    result = Relation(
-        elements=(representative(n) for n in observed.elements)
+    grouped = frozenset(
+        n for n in observed.elements if representative(n) != n
     )
-    for a, b in observed.pairs():
-        ra, rb = representative(a), representative(b)
-        if ra == a and rb == b:
-            result.add(a, b)
-            continue
-        if ra == rb:
-            continue  # internal to one calculation — reduced away
-        if options.forget_nonconflicting:
-            shared = system.common_schedule(a, b)
-            if shared is not None and not system.schedule(shared).conflicting(
-                a, b
-            ):
-                continue  # the forgetting rule: commutativity is vouched for
-        result.add(ra, rb)
+    result = carried_restriction(observed, representative, grouped)
+    result.add_all(
+        pull_up_delta(
+            system, observed, representative, options, grouped=grouped
+        )
+    )
     return result
+
+
+def carried_restriction(
+    observed: Relation,
+    representative: Callable[[str], str],
+    grouped: "frozenset[str]",
+) -> Relation:
+    """The carried part of one pull-up step: ``observed`` restricted to
+    the ungrouped nodes, with the parents of the ``grouped`` nodes put
+    on the carrier at their Def.-16 positions (first grouped child).
+    For a transitively closed ``observed`` the result is closed — it is
+    the delta-closure base of the incremental engine."""
+    return observed.restricted_to(
+        (n for n in observed.elements if n not in grouped),
+        carrier=(representative(n) for n in observed.elements),
+    )
+
+
+def pull_up_delta(
+    system: CompositeSystem,
+    observed: Relation,
+    representative: Callable[[str], str],
+    options: ObservedOrderOptions = ObservedOrderOptions(),
+    *,
+    grouped: "frozenset[str] | None" = None,
+) -> List[Tuple[str, str]]:
+    """Only the *rewritten* pairs of one pull-up step.
+
+    The carried pairs (both endpoints ungrouped) of :func:`pull_up` are
+    exactly :func:`carried_restriction` — closed whenever ``observed``
+    is.  The incremental engine keeps that restriction as the closed
+    base and feeds the pairs returned here (plus the level's seeds) to
+    :meth:`repro.core.orders.Relation.add_closed`, instead of re-closing
+    the whole front from scratch.
+
+    Only rows touching a grouped node are visited: a pair needs
+    rewriting iff one endpoint is grouped, so ungrouped rows contribute
+    their intersection with ``grouped`` and grouped rows contribute
+    everything.  The returned order is set-iteration order — callers
+    only ever feed the delta into a :class:`Relation`, whose pair
+    iteration is canonical regardless of insertion order.
+    """
+    if grouped is None:
+        grouped = frozenset(
+            n for n in observed.elements if representative(n) != n
+        )
+    delta: List[Tuple[str, str]] = []
+    if not grouped:
+        return delta
+    forget = options.forget_nonconflicting
+    # Raw row access: Relation.successors copies its row, and this loop
+    # touches every row of a (dense, closed) observed order per level.
+    rows = observed._succ
+    for a in observed.elements:
+        bucket = rows.get(a)
+        if not bucket:
+            continue
+        targets = bucket if a in grouped else bucket & grouped
+        ra = representative(a)
+        for b in targets:
+            rb = representative(b)
+            if ra == rb:
+                continue  # internal to one calculation — reduced away
+            if forget:
+                shared = system.common_schedule(a, b)
+                if shared is not None and not system.schedule(
+                    shared
+                ).conflicting(a, b):
+                    continue  # the forgetting rule: commutativity vouched
+            delta.append((ra, rb))
+    return delta
 
 
 def observed_between_trees(

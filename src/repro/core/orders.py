@@ -35,6 +35,24 @@ from repro.exceptions import CycleError
 Element = Hashable
 Pair = Tuple[Element, Element]
 
+#: Closure instrumentation: mutated by :meth:`Relation.transitive_closure`
+#: and :meth:`Relation.delta_closure`, snapshotted by the reduction
+#: engine's profiler.  ``calls`` counts closure invocations; ``rows``
+#: counts bitset rows actually (re)computed — the quantity the
+#: incremental path saves.  Per-process (each pool worker has its own).
+CLOSURE_COUNTERS = {"calls": 0, "rows": 0}
+
+
+def closure_counters() -> Dict[str, int]:
+    """A snapshot of the module-level closure counters."""
+    return dict(CLOSURE_COUNTERS)
+
+
+def reset_closure_counters() -> None:
+    """Zero the closure counters (benchmark/test hygiene)."""
+    CLOSURE_COUNTERS["calls"] = 0
+    CLOSURE_COUNTERS["rows"] = 0
+
 
 class Relation:
     """A finite binary relation ``R ⊆ E × E`` over a carrier set ``E``.
@@ -178,14 +196,39 @@ class Relation:
                     result.add(a, b)
         return result
 
-    def restricted_to(self, keep: Iterable[Element]) -> "Relation":
-        """The sub-relation induced on the elements of ``keep``."""
+    def restricted_to(
+        self,
+        keep: Iterable[Element],
+        *,
+        carrier: "Optional[Iterable[Element]]" = None,
+    ) -> "Relation":
+        """The sub-relation induced on the elements of ``keep``.
+
+        Rows are copied by whole-set intersection, not pair by pair —
+        the restriction is the carried base of every incremental
+        reduction step, and per-pair ``add`` calls dominated its cost.
+        ``carrier`` optionally fixes the result's carrier (it must
+        contain every kept element of ``self``; extra elements get
+        empty rows) — the reduction uses this to place the parent
+        transactions at their Def.-16 positions.  A restriction of a
+        transitively closed relation is itself closed.
+        """
         keep_set = set(keep)
-        result = Relation(elements=(e for e in self._elements if e in keep_set))
-        for a in result.elements:
-            for b in self._succ.get(a, ()):
-                if b in keep_set:
-                    result.add(a, b)
+        if carrier is None:
+            carrier = (e for e in self._elements if e in keep_set)
+        result = Relation(elements=carrier)
+        size = 0
+        for a, bucket in self._succ.items():
+            if a not in keep_set:
+                continue
+            row = bucket & keep_set
+            if not row:
+                continue
+            result._succ[a] = row
+            size += len(row)
+            for b in row:
+                result._pred.setdefault(b, set()).add(a)
+        result._size = size
         return result
 
     def mapped(
@@ -237,6 +280,8 @@ class Relation:
         elements = list(self._elements)
         index = {e: i for i, e in enumerate(elements)}
         n = len(elements)
+        CLOSURE_COUNTERS["calls"] += 1
+        CLOSURE_COUNTERS["rows"] += n
         rows = [0] * n
         for a, bs in self._succ.items():
             ia = index[a]
@@ -288,6 +333,137 @@ class Relation:
                 result.add(element, elements[j])
                 mask &= mask - 1
         return result
+
+    def delta_closure(
+        self,
+        pairs: Iterable[Pair],
+        elements: Iterable[Element] = (),
+    ) -> "Relation":
+        """Closure of ``self ∪ pairs`` for an **already closed** ``self``.
+
+        The incremental counterpart of :meth:`transitive_closure`: instead
+        of re-saturating every row, each inserted edge ``(a, b)`` unions
+        ``b``'s (final) reachability row into the rows of ``a`` and of
+        everything that reaches ``a`` — touching only rows whose
+        reachability actually changes.  Rows are the same integer bitsets
+        the from-scratch closure uses, with a transposed (predecessor)
+        index so the affected rows are found without a scan.
+
+        Precondition: ``self`` is transitively closed (the result of
+        :meth:`transitive_closure` or a previous :meth:`delta_closure`,
+        or a restriction of one — restriction preserves closedness).
+        The reflexivity convention matches :meth:`transitive_closure`:
+        ``x R x`` appears exactly when ``x`` lies on a cycle.
+
+        ``elements`` extends the carrier set (isolated nodes the caller
+        wants present); endpoints of ``pairs`` are added automatically.
+
+        >>> base = Relation([("a", "b"), ("b", "c")]).transitive_closure()
+        >>> inc = base.delta_closure([("c", "d")])
+        >>> ("a", "d") in inc
+        True
+        >>> inc == Relation(
+        ...     [("a", "b"), ("b", "c"), ("c", "d")]
+        ... ).transitive_closure()
+        True
+        """
+        order: Dict[Element, None] = dict(self._elements)
+        staged = list(pairs)
+        for element in elements:
+            order.setdefault(element, None)
+        for a, b in staged:
+            order.setdefault(a, None)
+            order.setdefault(b, None)
+        carrier = list(order)
+        index = {e: i for i, e in enumerate(carrier)}
+        n = len(carrier)
+        rows = [0] * n
+        cols = [0] * n
+        for a, bs in self._succ.items():
+            ia = index[a]
+            bit_a = 1 << ia
+            mask = 0
+            for b in bs:
+                ib = index[b]
+                mask |= 1 << ib
+                cols[ib] |= bit_a
+            rows[ia] = mask
+
+        touched = 0
+        for a, b in staged:
+            ia, ib = index[a], index[b]
+            if (rows[ia] >> ib) & 1:
+                continue  # already implied — closure is unchanged
+            succ_mask = rows[ib] | (1 << ib)
+            affected = cols[ia] | (1 << ia)
+            while affected:
+                low = affected & -affected
+                ix = low.bit_length() - 1
+                affected &= affected - 1
+                new = succ_mask & ~rows[ix]
+                if not new:
+                    continue
+                touched += 1
+                rows[ix] |= new
+                bit_x = 1 << ix
+                while new:
+                    nl = new & -new
+                    cols[nl.bit_length() - 1] |= bit_x
+                    new &= new - 1
+        CLOSURE_COUNTERS["calls"] += 1
+        CLOSURE_COUNTERS["rows"] += touched
+
+        result = Relation(elements=carrier)
+        for i, element in enumerate(carrier):
+            mask = rows[i]
+            while mask:
+                low = mask & -mask
+                result.add(element, carrier[low.bit_length() - 1])
+                mask &= mask - 1
+        return result
+
+    def add_closed(
+        self,
+        pairs: Iterable[Pair],
+        elements: Iterable[Element] = (),
+    ) -> int:
+        """In-place :meth:`delta_closure`: insert ``pairs`` into an
+        **already closed** relation and restore closedness, touching only
+        rows whose reachability changes.
+
+        This is the engine-facing variant — it never re-emits the
+        unchanged part of the relation (the dominant cost of re-closing a
+        dense observed order from scratch), because the predecessor index
+        plays the role of the transposed bitset: in a closed relation
+        ``predecessors(a)`` is exactly the set of rows an edge into ``a``
+        can affect.  Returns the number of rows touched (also added to
+        the module closure counters).
+        """
+        for element in elements:
+            self.add_element(element)
+        touched = 0
+        for a, b in pairs:
+            self.add_element(a)
+            self.add_element(b)
+            if b in self._succ.get(a, ()):
+                continue  # already implied — closure is unchanged
+            reach = set(self._succ.get(b, ()))
+            reach.add(b)
+            affected = set(self._pred.get(a, ()))
+            affected.add(a)
+            for x in affected:
+                bucket = self._succ.setdefault(x, set())
+                new = reach - bucket
+                if not new:
+                    continue
+                touched += 1
+                bucket |= new
+                for y in new:
+                    self._pred.setdefault(y, set()).add(x)
+                self._size += len(new)
+        CLOSURE_COUNTERS["calls"] += 1
+        CLOSURE_COUNTERS["rows"] += touched
+        return touched
 
     def _tarjan(self, elements: list, index: Dict[Element, int]):
         """Iterative Tarjan SCC over the indexed graph; components are
@@ -528,6 +704,72 @@ class Relation:
 def _sort_key(element: Element) -> Tuple[str, str]:
     """Deterministic sort key for heterogeneous hashables."""
     return (type(element).__name__, str(element))
+
+
+def find_cycle_in_union(
+    relations: Iterable["Relation"],
+    *,
+    skip_self_loops: bool = False,
+) -> Optional[List[Element]]:
+    """One directed cycle of ``⋃ relations``, without materializing it.
+
+    Behaviourally identical to ``relations[0].union(*relations[1:])``
+    followed by :meth:`Relation.find_cycle` (same carrier order, same
+    successor sort, hence the same witness cycle) — but it never copies
+    the relations, which for the checker's dense closed observed orders
+    is the dominant cost of the Def.-13 consistency test.  With
+    ``skip_self_loops`` reflexive pairs are ignored, matching the
+    self-loop discard of :meth:`repro.core.front.Front.consistency_violation`.
+    """
+    pool = list(relations)
+    order: Dict[Element, None] = {}
+    for relation in pool:
+        for element in relation._elements:
+            order.setdefault(element, None)
+
+    def successors(node: Element) -> List[Element]:
+        buckets = [b for b in (r._succ.get(node) for r in pool) if b]
+        if not buckets:
+            return []
+        merged = buckets[0] if len(buckets) == 1 else set().union(*buckets)
+        out = sorted(merged, key=_sort_key)
+        if skip_self_loops and node in merged:
+            out = [child for child in out if child != node]
+        return out
+
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[Element, int] = {e: WHITE for e in order}
+    parent: Dict[Element, Element] = {}
+    for root in order:
+        if colour[root] != WHITE:
+            continue
+        stack: List[Tuple[Element, Iterator[Element]]] = [
+            (root, iter(successors(root)))
+        ]
+        colour[root] = GREY
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if colour[child] == WHITE:
+                    colour[child] = GREY
+                    parent[child] = node
+                    stack.append((child, iter(successors(child))))
+                    advanced = True
+                    break
+                if colour[child] == GREY:
+                    cycle = [child]
+                    cursor = node
+                    while cursor != child:
+                        cycle.append(cursor)
+                        cursor = parent[cursor]
+                    cycle.append(child)
+                    cycle.reverse()
+                    return cycle
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return None
 
 
 def total_order_from_sequence(sequence: Iterable[Element]) -> Relation:

@@ -22,8 +22,9 @@ succeed.  On failure the engine returns a
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.calculation import (
     calculation_constraints,
@@ -34,12 +35,35 @@ from repro.core.calculation import (
 from repro.core.front import Front, ReductionFailure
 from repro.core.observed import (
     ObservedOrderOptions,
+    carried_restriction,
+    group_by_schedule,
     pull_up,
+    pull_up_delta,
+    schedule_seed_pairs,
     seed_observed_pairs,
 )
-from repro.core.orders import Relation
+from repro.core.orders import Relation, closure_counters
 from repro.core.system import CompositeSystem
 from repro.exceptions import ReductionError
+
+
+@dataclass
+class LevelProfile:
+    """Cost accounting for one reduction step (``check --profile``).
+
+    ``closure_calls`` / ``closure_rows`` are deltas of the module-level
+    counters in :mod:`repro.core.orders`: how many closure invocations
+    the step made and how many bitset rows they actually (re)computed —
+    the from-scratch path recomputes every row at every level, the
+    incremental path only the rows whose reachability changed.
+    """
+
+    level: int
+    seconds: float
+    closure_calls: int
+    closure_rows: int
+    nodes: int
+    observed_pairs: int
 
 
 @dataclass
@@ -57,10 +81,21 @@ class ReductionResult:
     fronts: List[Front] = field(default_factory=list)
     failure: Optional[ReductionFailure] = None
     witnesses: List[List[str]] = field(default_factory=list)
+    #: per-level cost accounting, filled in by :meth:`ReductionEngine.run`
+    #: (empty when the fronts were built by direct ``next_front`` calls)
+    profile: List[LevelProfile] = field(default_factory=list)
 
     @property
     def succeeded(self) -> bool:
         return self.failure is None
+
+    def profile_totals(self) -> Dict[str, float]:
+        """Aggregate the per-level profile (zeroes when not profiled)."""
+        return {
+            "seconds": sum(p.seconds for p in self.profile),
+            "closure_calls": sum(p.closure_calls for p in self.profile),
+            "closure_rows": sum(p.closure_rows for p in self.profile),
+        }
 
     @property
     def final_front(self) -> Front:
@@ -102,24 +137,97 @@ class ReductionResult:
 
 
 class ReductionEngine:
-    """Runs Def. 16 on one composite system."""
+    """Runs Def. 16 on one composite system.
+
+    ``incremental`` (the default) reuses each front's already-closed
+    relations: the next observed order is the closed restriction to the
+    carried nodes plus a :meth:`~repro.core.orders.Relation.delta_closure`
+    over the rewritten pull-up pairs and the level's seeds, and the input
+    orders are closed restrictions (restriction preserves closedness)
+    plus the level's schedule input pairs as a delta.  Per-schedule seed
+    pairs are memoized across levels.  ``incremental=False`` keeps the
+    original from-scratch closure per level — bit-identical verdicts,
+    used as the baseline by the P2 benchmark and the equivalence tests.
+    """
 
     def __init__(
         self,
         system: CompositeSystem,
         options: ObservedOrderOptions = ObservedOrderOptions(),
+        *,
+        incremental: bool = True,
     ) -> None:
         self.system = system
         self.options = options
+        self.incremental = incremental
+        #: (schedule, members) -> seed pairs; see ``schedule_seed_pairs``
+        self._seed_cache: Dict[
+            Tuple[str, Tuple[str, ...]], Tuple[Tuple[str, str], ...]
+        ] = {}
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _close_with_delta(
+        base: Relation, delta: List[Tuple[str, str]]
+    ) -> Relation:
+        """Close ``base ∪ delta`` given an already-closed ``base``.
+
+        Hybrid dispatch: per-edge in-place delta closure wins while the
+        delta is no bigger than the carried closed base (carry-heavy
+        levels — DAGs, mixed heights, persisting roots), but degenerates
+        when new pairs swamp the carried ones, where the word-packed
+        from-scratch closure is far cheaper.  The crossover was measured
+        on the P2 workloads (deep stacks, dags and trees, serial
+        layouts).  Both branches compute the same relation, so verdicts
+        and printed fronts do not depend on the dispatch.
+        """
+        if len(delta) <= max(16, len(base)):
+            base.add_closed(delta)
+            return base
+        base.add_all(delta)
+        return base.transitive_closure()
+
+    def _seeds(
+        self,
+        nodes: Tuple[str, ...],
+        *,
+        covered: "Optional[set]" = None,
+    ) -> List[Tuple[str, str]]:
+        """Seed pairs for ``nodes``, memoized per (schedule, members).
+
+        Front nodes persist across levels (roots stay until the end), so
+        without the cache every level redoes the full O(members²)
+        conflict scan for every schedule that merely carried its members
+        over.  ``covered`` marks nodes carried from the previous front:
+        a schedule whose members are all covered re-contributes pairs
+        that the previous level already seeded and closed in — pairs
+        between two carried nodes survive the carried restriction — so
+        the whole schedule is skipped.
+        """
+        out: List[Tuple[str, str]] = []
+        for sname, members in group_by_schedule(self.system, nodes).items():
+            if covered is not None and all(m in covered for m in members):
+                continue  # already closed into the carried base
+            key = (sname, tuple(members))
+            cached = self._seed_cache.get(key)
+            if cached is None:
+                cached = schedule_seed_pairs(
+                    self.system, sname, members, self.options
+                )
+                self._seed_cache[key] = cached
+            out.extend(cached)
+        return out
+
     def level0_front(self) -> Front:
         """Def. 15: the (unique) front over all leaves."""
         leaves = tuple(self.system.leaves)
         observed = Relation(elements=leaves)
-        observed.add_all(
-            seed_observed_pairs(self.system, leaves, self.options)
-        )
+        if self.incremental:
+            observed.add_all(self._seeds(leaves))
+        else:
+            observed.add_all(
+                seed_observed_pairs(self.system, leaves, self.options)
+            )
         return Front(
             level=0,
             nodes=leaves,
@@ -165,30 +273,64 @@ class ReductionEngine:
             if tname not in present
         )
         new_nodes = new_nodes + empties
-        observed = pull_up(system, front.observed, grouping.rep, self.options)
-        for node in new_nodes:
-            observed.add_element(node)
-        observed.add_all(
-            seed_observed_pairs(system, new_nodes, self.options)
-        )
-        observed = observed.transitive_closure()
+        rep = grouping.rep
+        if self.incremental:
+            # The carried part of the pull-up (pairs between two ungrouped
+            # nodes) is exactly front.observed restricted to those nodes —
+            # and a restriction of a closed relation is closed, so it
+            # serves as the delta-closure base.  Everything else (the
+            # rewritten, Def.-10-gated pairs, plus this level's seeds) is
+            # the delta.
+            grouped = frozenset(
+                n for n in front.observed.elements if rep(n) != n
+            )
+            observed = carried_restriction(front.observed, rep, grouped)
+            for node in new_nodes:
+                observed.add_element(node)
+            delta = pull_up_delta(
+                system, front.observed, rep, self.options, grouped=grouped
+            )
+            carried = set(front.observed.elements) - grouped
+            delta.extend(self._seeds(new_nodes, covered=carried))
+            observed = self._close_with_delta(observed, delta)
+        else:
+            observed = pull_up(system, front.observed, rep, self.options)
+            for node in new_nodes:
+                observed.add_element(node)
+            observed.add_all(
+                seed_observed_pairs(system, new_nodes, self.options)
+            )
+            observed = observed.transitive_closure()
 
         input_weak = front.input_weak.restricted_to(new_nodes)
         input_strong = front.input_strong.restricted_to(new_nodes)
         for node in new_nodes:
             input_weak.add_element(node)
             input_strong.add_element(node)
+        weak_delta: List[Tuple[str, str]] = []
+        strong_delta: List[Tuple[str, str]] = []
         for sname in system.schedules_at_level(level):
             schedule = system.schedule(sname)
-            input_weak.add_all(schedule.weak_input.pairs())
-            input_strong.add_all(schedule.strong_input.pairs())
+            weak_delta.extend(schedule.weak_input.pairs())
+            strong_delta.extend(schedule.strong_input.pairs())
+        if self.incremental:
+            # front.input_* are closed (engine invariant), and restriction
+            # preserves closedness — only the new schedules' input pairs
+            # need propagating.
+            input_weak = self._close_with_delta(input_weak, weak_delta)
+            input_strong = self._close_with_delta(input_strong, strong_delta)
+        else:
+            input_weak.add_all(weak_delta)
+            input_strong.add_all(strong_delta)
+            input_weak = input_weak.transitive_closure()
+            input_strong = input_strong.transitive_closure()
 
         candidate = Front(
             level=level,
             nodes=new_nodes,
             observed=observed,
-            input_weak=input_weak.transitive_closure(),
-            input_strong=input_strong.transitive_closure(),
+            input_weak=input_weak,
+            input_strong=input_strong,
         )
         cycle = candidate.consistency_violation()
         if cycle is not None:
@@ -212,6 +354,37 @@ class ReductionEngine:
                         )
 
     # ------------------------------------------------------------------
+    def _record_level(
+        self,
+        result: ReductionResult,
+        front: Front,
+        tick: float,
+        before: Dict[str, int],
+    ) -> None:
+        after = closure_counters()
+        result.profile.append(
+            LevelProfile(
+                level=front.level,
+                seconds=time.perf_counter() - tick,
+                closure_calls=after["calls"] - before["calls"],
+                closure_rows=after["rows"] - before["rows"],
+                nodes=len(front.nodes),
+                observed_pairs=len(front.observed),
+            )
+        )
+
+    def _record_failure(
+        self,
+        result: ReductionResult,
+        failure: ReductionFailure,
+        tick: float,
+        before: Dict[str, int],
+    ) -> ReductionResult:
+        if failure.rejected_front is not None:
+            self._record_level(result, failure.rejected_front, tick, before)
+        result.failure = failure
+        return result
+
     def run(self, *, stop_level: Optional[int] = None) -> ReductionResult:
         """Run the reduction up to ``stop_level`` (default: the system
         order ``N``, i.e. all the way to the roots)."""
@@ -222,13 +395,18 @@ class ReductionEngine:
                 f"{self.system.order}"
             )
         result = ReductionResult(system=self.system, options=self.options)
+        tick = time.perf_counter()
+        before = closure_counters()
         front = self.level0_front()
+        self._record_level(result, front, tick, before)
         cycle = front.consistency_violation()
         if cycle is not None:
             result.failure = ReductionFailure(level=0, stage="cc", cycle=cycle)
             return result
         result.fronts.append(front)
         while front.level < target:
+            tick = time.perf_counter()
+            before = closure_counters()
             self._check_materialization(front, front.level + 1)
             grouping = grouping_for_level(
                 self.system, front.nodes, front.level + 1
@@ -236,12 +414,12 @@ class ReductionEngine:
             constraints = calculation_constraints(self.system, front, grouping)
             outcome = self.next_front(front, _prepared=(grouping, constraints))
             if isinstance(outcome, ReductionFailure):
-                result.failure = outcome
-                return result
+                return self._record_failure(result, outcome, tick, before)
             result.witnesses.append(
                 witness_sequence(constraints, grouping, front.nodes)
             )
             front = outcome
+            self._record_level(result, front, tick, before)
             result.fronts.append(front)
         if target == self.system.order and result.succeeded:
             expected = set(self.system.roots)
@@ -256,6 +434,8 @@ class ReductionEngine:
 def reduce_to_roots(
     system: CompositeSystem,
     options: ObservedOrderOptions = ObservedOrderOptions(),
+    *,
+    incremental: bool = True,
 ) -> ReductionResult:
     """Run the full reduction (Theorem 1 decision procedure)."""
-    return ReductionEngine(system, options).run()
+    return ReductionEngine(system, options, incremental=incremental).run()

@@ -83,12 +83,19 @@ def classify(recorded: RecordedExecution) -> Mapping[str, Optional[bool]]:
 
 
 def applicable_criteria(system: CompositeSystem) -> Sequence[str]:
-    """The criterion names defined for this configuration."""
-    names = ["comp_c"]
+    """The criterion names defined for this configuration.
+
+    Returned in :data:`CRITERIA_ORDER`.  ``serial``, ``opsr`` and
+    ``comp_c`` apply to every configuration (the first two merely need
+    recorded executions to yield a verdict — see :func:`classify`);
+    ``llsr``/``scc``, ``fcc`` and ``jcc`` are gated on the stack, fork
+    and join structural preconditions.
+    """
+    names = {"serial", "opsr", "comp_c"}
     if is_stack(system):
-        names.extend(["llsr", "scc"])
+        names.update(("llsr", "scc"))
     if is_fork(system):
-        names.append("fcc")
+        names.add("fcc")
     if is_join(system):
-        names.append("jcc")
-    return tuple(names)
+        names.add("jcc")
+    return tuple(name for name in CRITERIA_ORDER if name in names)

@@ -1,7 +1,16 @@
 """Persistence: JSON text format for composite executions and traces."""
 
 from repro.io.text_format import dumps, load, loads, save, system_to_spec
-from repro.io.trace import dumps_trace, save_trace, trace_to_dict
+from repro.io.trace import (
+    ReductionTrace,
+    diff_traces,
+    dumps_trace,
+    load_trace,
+    loads_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
 
 __all__ = [
     "dumps",
@@ -9,7 +18,12 @@ __all__ = [
     "loads",
     "save",
     "system_to_spec",
+    "ReductionTrace",
+    "diff_traces",
     "dumps_trace",
+    "load_trace",
+    "loads_trace",
     "save_trace",
+    "trace_from_dict",
     "trace_to_dict",
 ]

@@ -1,0 +1,131 @@
+"""Property tests for the incremental-closure machinery.
+
+The incremental reduction engine stands on three facts pinned here
+(DESIGN.md lists them as the incremental-closure invariants):
+
+1. ``delta_closure`` / ``add_closed`` on a closed relation equal the
+   from-scratch closure of the union with the delta;
+2. the restriction of a transitively closed relation is closed, and
+   ``restricted_to``'s explicit-carrier form preserves the caller's
+   carrier order;
+3. the incremental engine's per-level fronts are *identical* — not just
+   equivalent — to the from-scratch engine's, so every downstream
+   narrative and verdict is byte-for-byte unchanged.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.orders import Relation
+from repro.core.reduction import reduce_to_roots
+from repro.testing import recorded_executions
+
+ELEMENTS = [f"e{i}" for i in range(10)]
+
+pair_lists = st.lists(
+    st.tuples(st.sampled_from(ELEMENTS), st.sampled_from(ELEMENTS)),
+    max_size=25,
+)
+
+
+def closed_relations():
+    return pair_lists.map(
+        lambda pairs: Relation(pairs, elements=ELEMENTS).transitive_closure()
+    )
+
+
+class TestDeltaClosure:
+    @given(closed_relations(), pair_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_delta_closure_matches_from_scratch(self, closed, delta):
+        incremental = closed.delta_closure(delta)
+        scratch = closed.union(
+            Relation(delta, elements=ELEMENTS)
+        ).transitive_closure()
+        assert incremental == scratch
+
+    @given(closed_relations(), pair_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_add_closed_matches_from_scratch(self, closed, delta):
+        scratch = closed.union(
+            Relation(delta, elements=ELEMENTS)
+        ).transitive_closure()
+        closed.add_closed(delta)
+        assert closed == scratch
+
+    @given(closed_relations(), pair_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_delta_closure_with_new_elements(self, closed, delta):
+        fresh = ["n0", "n1"]
+        delta = delta + [("n0", "n1"), (ELEMENTS[0], "n0")]
+        incremental = closed.delta_closure(delta, elements=fresh)
+        scratch = closed.union(
+            Relation(delta, elements=ELEMENTS + fresh)
+        ).transitive_closure()
+        assert incremental == scratch
+
+    @given(closed_relations())
+    @settings(max_examples=50, deadline=None)
+    def test_empty_delta_is_identity(self, closed):
+        assert closed.delta_closure([]) == closed
+
+
+class TestRestriction:
+    @given(closed_relations(), st.sets(st.sampled_from(ELEMENTS)))
+    @settings(max_examples=100, deadline=None)
+    def test_restriction_of_closed_is_closed(self, closed, keep):
+        restricted = closed.restricted_to(keep)
+        assert restricted == restricted.transitive_closure()
+
+    @given(pair_lists, st.sets(st.sampled_from(ELEMENTS)))
+    @settings(max_examples=100, deadline=None)
+    def test_restriction_keeps_exactly_internal_pairs(self, pairs, keep):
+        relation = Relation(pairs, elements=ELEMENTS)
+        restricted = relation.restricted_to(keep)
+        expected = {(a, b) for a, b in pairs if a in keep and b in keep}
+        assert set(restricted.pairs()) == expected
+        assert set(restricted.elements) == keep
+
+    @given(pair_lists, st.sets(st.sampled_from(ELEMENTS)))
+    @settings(max_examples=50, deadline=None)
+    def test_explicit_carrier_sets_element_order(self, pairs, keep):
+        relation = Relation(pairs, elements=ELEMENTS)
+        carrier = [e for e in ELEMENTS if e in keep] + ["extra"]
+        restricted = relation.restricted_to(keep, carrier=carrier)
+        assert list(restricted.elements) == carrier
+        assert restricted.successors("extra") == set()
+
+
+class TestEngineEquivalence:
+    @given(recorded_executions(kinds=("stack", "fork", "join", "dag")))
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_engine_is_byte_identical(self, recorded):
+        system = recorded.system
+        incremental = reduce_to_roots(system, incremental=True)
+        scratch = reduce_to_roots(system, incremental=False)
+        assert incremental.succeeded == scratch.succeeded
+        assert len(incremental.fronts) == len(scratch.fronts)
+        for fi, fs in zip(incremental.fronts, scratch.fronts):
+            assert fi.nodes == fs.nodes
+            # pairs() iteration is canonical, so demand identical
+            # *sequences*, not merely equal sets: narratives and traces
+            # print in this order.
+            assert list(fi.observed.pairs()) == list(fs.observed.pairs())
+            assert list(fi.input_weak.pairs()) == list(fs.input_weak.pairs())
+            assert list(fi.input_strong.pairs()) == list(
+                fs.input_strong.pairs()
+            )
+        assert incremental.witnesses == scratch.witnesses
+        if incremental.succeeded:
+            assert incremental.serial_order() == scratch.serial_order()
+
+    @given(recorded_executions(kinds=("stack", "dag")))
+    @settings(max_examples=20, deadline=None)
+    def test_incremental_engine_does_less_closure_work(self, recorded):
+        system = recorded.system
+        incremental = reduce_to_roots(system, incremental=True)
+        scratch = reduce_to_roots(system, incremental=False)
+        assert (
+            incremental.profile_totals()["closure_rows"]
+            <= scratch.profile_totals()["closure_rows"]
+        )

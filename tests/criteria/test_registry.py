@@ -46,8 +46,15 @@ class TestApplicability:
         assert "jcc" in applicable_criteria(rec.system)
 
     def test_general_configuration(self):
+        # serial/opsr/comp_c apply everywhere; structural criteria don't.
         names = applicable_criteria(figure1_system())
-        assert names == ("comp_c",)
+        assert names == ("serial", "opsr", "comp_c")
+
+    def test_order_matches_criteria_order(self):
+        rec = make(stack_topology(2))
+        names = applicable_criteria(rec.system)
+        assert names == tuple(n for n in CRITERIA_ORDER if n in names)
+        assert {"serial", "opsr"} <= set(names)
 
 
 class TestClassify:

@@ -2,11 +2,23 @@
 
 import json
 
+import pytest
+
 from repro.cli import main
 from repro.core.reduction import reduce_to_roots
+from repro.exceptions import ParseError
 from repro.figures import figure1_system, figure3_system
 from repro.io import save
-from repro.io.trace import dumps_trace, save_trace, trace_to_dict
+from repro.io.trace import (
+    TRACE_VERSION,
+    diff_traces,
+    dumps_trace,
+    load_trace,
+    loads_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
 
 
 class TestTraceDict:
@@ -50,6 +62,78 @@ class TestTraceDict:
         path = tmp_path / "trace.json"
         save_trace(reduce_to_roots(figure1_system()), path)
         assert json.loads(path.read_text())["succeeded"] is True
+
+
+class TestTraceRoundTrip:
+    def test_accepted_round_trip(self, tmp_path):
+        result = reduce_to_roots(figure1_system())
+        path = tmp_path / "trace.json"
+        save_trace(result, path)
+        trace = load_trace(path)
+        assert trace.succeeded is True
+        assert trace.order == result.system.order
+        assert trace.roots == list(result.system.roots)
+        assert trace.serial_witness == result.serial_order()
+        assert len(trace.fronts) == len(result.fronts)
+        for reloaded, original in zip(trace.fronts, result.fronts):
+            assert reloaded.nodes == original.nodes
+            assert list(reloaded.observed.pairs()) == list(
+                original.observed.pairs()
+            )
+            assert reloaded.is_conflict_consistent()
+
+    def test_rejected_round_trip(self):
+        result = reduce_to_roots(figure3_system())
+        trace = loads_trace(dumps_trace(result))
+        assert trace.succeeded is False
+        assert trace.failure["stage"] == "calculation"
+        assert trace.serial_witness is None
+
+    def test_profile_round_trips(self):
+        result = reduce_to_roots(figure1_system())
+        trace = loads_trace(dumps_trace(result))
+        assert [p.level for p in trace.profile] == [
+            p.level for p in result.profile
+        ]
+        assert [p.closure_rows for p in trace.profile] == [
+            p.closure_rows for p in result.profile
+        ]
+
+    def test_version_check(self):
+        doc = trace_to_dict(reduce_to_roots(figure1_system()))
+        doc["version"] = TRACE_VERSION + 1
+        with pytest.raises(ParseError, match="unsupported trace version"):
+            trace_from_dict(doc)
+        del doc["version"]
+        with pytest.raises(ParseError, match="unsupported trace version"):
+            trace_from_dict(doc)
+
+    def test_tampered_consistency_flag_rejected(self):
+        doc = trace_to_dict(reduce_to_roots(figure1_system()))
+        doc["fronts"][0]["conflict_consistent"] = False
+        with pytest.raises(ParseError, match="disagree"):
+            trace_from_dict(doc)
+
+    def test_level_accessor(self):
+        trace = loads_trace(dumps_trace(reduce_to_roots(figure1_system())))
+        assert trace.level(0).level == 0
+        with pytest.raises(ParseError):
+            trace.level(99)
+
+    def test_utf8_on_disk(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(reduce_to_roots(figure1_system()), path)
+        json.loads(path.read_text(encoding="utf-8"))
+
+    def test_diff_identical_traces_is_empty(self):
+        text = dumps_trace(reduce_to_roots(figure1_system()))
+        assert diff_traces(loads_trace(text), loads_trace(text)) == []
+
+    def test_diff_reports_verdict_and_fronts(self):
+        accepted = loads_trace(dumps_trace(reduce_to_roots(figure1_system())))
+        rejected = loads_trace(dumps_trace(reduce_to_roots(figure3_system())))
+        report = diff_traces(accepted, rejected)
+        assert any("verdict" in line for line in report)
 
 
 class TestCliTrace:

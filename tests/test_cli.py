@@ -37,6 +37,13 @@ class TestCheck:
         assert main(["check", "--strict", incorrect_file]) == 2
         assert main(["check", "--strict", correct_file]) == 0
 
+    def test_profile(self, correct_file, capsys):
+        assert main(["check", "--profile", correct_file]) == 0
+        out = capsys.readouterr().out
+        assert "reduction profile" in out
+        assert "closure" in out
+        assert "total" in out
+
 
 class TestInfo:
     def test_info(self, correct_file, capsys):

@@ -1,0 +1,63 @@
+"""--workers N output must be byte-identical to --workers 1.
+
+The batch runner's determinism contract (results in task-submission
+order, serial-order merges) is what lets ``--workers`` be a pure
+go-faster knob.  These tests pin it at the CLI surface, where any
+reordering or float-accumulation drift would show up in the printed
+tables.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.figures import figure1_system, figure3_system
+from repro.io import save
+
+
+def run_cli(capsys, argv):
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["experiment", "t1", "--trials", "6"],
+        ["experiment", "t2", "--trials", "6"],
+        ["experiment", "h1", "--trials", "4"],
+        ["experiment", "a1", "--trials", "8"],
+    ],
+)
+def test_experiment_workers_identical(capsys, argv):
+    code1, serial = run_cli(capsys, argv + ["--workers", "1"])
+    code4, parallel = run_cli(capsys, argv + ["--workers", "4"])
+    assert code1 == code4 == 0
+    assert serial == parallel
+
+
+def test_chaos_workers_identical(capsys):
+    argv = [
+        "chaos",
+        "--depth",
+        "2",
+        "--runs",
+        "2",
+        "--transactions",
+        "3",
+    ]
+    code1, serial = run_cli(capsys, argv + ["--workers", "1"])
+    code2, parallel = run_cli(capsys, argv + ["--workers", "2"])
+    assert code1 == code2 == 0
+    assert serial == parallel
+
+
+def test_compare_workers_identical(capsys, tmp_path):
+    file_a = tmp_path / "a.json"
+    file_b = tmp_path / "b.json"
+    save(figure1_system(), file_a)
+    save(figure3_system(), file_b)
+    argv = ["compare", str(file_a), str(file_b)]
+    code1, serial = run_cli(capsys, argv + ["--workers", "1"])
+    code2, parallel = run_cli(capsys, argv + ["--workers", "2"])
+    assert code1 == code2
+    assert serial == parallel
