@@ -10,7 +10,7 @@ OPSR forgives cross-level conflict pull-ups)."""
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.analysis.hierarchy import HIERARCHY, judge
 from repro.workloads.generator import WorkloadConfig, generate

@@ -155,6 +155,10 @@ class ChaosPoint:
     discarded_operations: int = 0
     assembled_runs: int = 0  # runs that committed anything at all
     comp_c_runs: int = 0  # assembled runs judged Comp-C
+    #: lint findings over the assembled executions, ``code -> count``
+    #: (typically CTX301: the committed system's static shape admits a
+    #: conflict cycle even when the actual execution was Comp-C)
+    lint_codes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def comp_c_rate(self) -> float:
@@ -170,6 +174,15 @@ class ChaosPoint:
         return " ".join(
             f"{reason}:{count}"
             for reason, count in sorted(self.aborts_by_reason.items())
+        )
+
+    def lint_breakdown(self) -> str:
+        """Compact ``code:count`` rendering, stable order."""
+        if not self.lint_codes:
+            return "-"
+        return " ".join(
+            f"{code}:{count}"
+            for code, count in sorted(self.lint_codes.items())
         )
 
 
@@ -189,6 +202,9 @@ class ChaosRun:
     faults_injected: Dict[str, int]
     assembled: bool
     comp_c: bool
+    #: lint ``code -> count`` over the assembled execution (empty when
+    #: nothing committed); a plain dict so the record stays picklable
+    lint_codes: Dict[str, int] = field(default_factory=dict)
 
 
 def chaos_run(
@@ -231,6 +247,16 @@ def chaos_run(
     result = sim.run()
     metrics = result.metrics
     assembled = result.assembled is not None
+    comp_c = False
+    lint_codes: Dict[str, int] = {}
+    if assembled:
+        # Imported here so the multiprocessing workers only pay for the
+        # lint stack when a run actually committed something.
+        from repro.lint import lint_system
+
+        system = result.assembled.recorded.system
+        comp_c = is_composite_correct(system)
+        lint_codes = lint_system(system).collector.counts()
     return ChaosRun(
         commits=metrics.commits,
         gave_up=metrics.gave_up,
@@ -241,8 +267,8 @@ def chaos_run(
         aborts_by_reason=dict(metrics.aborts_by_reason),
         faults_injected=dict(metrics.faults_injected),
         assembled=assembled,
-        comp_c=assembled
-        and is_composite_correct(result.assembled.recorded.system),
+        comp_c=comp_c,
+        lint_codes=lint_codes,
     )
 
 
@@ -292,6 +318,8 @@ def merge_chaos_runs(
             point.faults_injected[kind] = (
                 point.faults_injected.get(kind, 0) + count
             )
+        for code, count in run.lint_codes.items():
+            point.lint_codes[code] = point.lint_codes.get(code, 0) + count
         if run.assembled:
             point.assembled_runs += 1
             if run.comp_c:

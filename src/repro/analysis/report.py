@@ -11,7 +11,7 @@ line as ``python -m repro report``.
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import List
 
 from repro import __version__
 from repro.analysis.hierarchy import (

@@ -8,7 +8,7 @@ errors and binomial confidence intervals for acceptance rates.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 
 def mean(values: Sequence[float]) -> float:

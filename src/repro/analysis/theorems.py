@@ -10,7 +10,7 @@ be constructively certified in both directions (Theorem 1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 from repro.analysis.batch import run_batch
 from repro.core.certificates import validate_failure_certificate

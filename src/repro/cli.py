@@ -3,6 +3,7 @@
 Commands
 --------
 check       decide Comp-C for a saved execution (JSON)
+lint        static analysis of system/trace/topology documents
 info        structure + every applicable criterion for a saved execution
 render      DOT/ASCII renderings of a saved execution
 generate    random composite execution -> JSON file
@@ -65,6 +66,16 @@ def _add_workers_option(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_static_precheck_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--static-precheck",
+        action="store_true",
+        help="consult the conservative static safety prover first and "
+        "skip the reduction when the system is provably Comp-C "
+        "(identical verdicts; recorded as a skipped profile level)",
+    )
+
+
 def _add_topology_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--topology",
@@ -81,14 +92,16 @@ def _add_topology_options(parser: argparse.ArgumentParser) -> None:
 # ----------------------------------------------------------------------
 def cmd_check(args: argparse.Namespace) -> int:
     recorded = load(args.file)
-    report = check_composite_correctness(recorded.system)
+    report = check_composite_correctness(
+        recorded.system, static_precheck=args.static_precheck
+    )
     print(report.narrative())
     if args.profile:
         print()
         print(banner("reduction profile"))
         rows = [
             [
-                p.level,
+                f"{p.level} (skipped)" if p.skipped else p.level,
                 f"{p.seconds * 1000:.2f}",
                 p.closure_calls,
                 p.closure_rows,
@@ -125,6 +138,24 @@ def cmd_check(args: argparse.Namespace) -> int:
     if args.strict and not report.correct:
         return 2
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import lint_paths, render_json, render_text
+
+    result, missing = lint_paths(args.paths)
+    for path in missing:
+        print(f"lint: no such file or directory: {path}", file=sys.stderr)
+    if missing:
+        return 1
+    if not result.reports:
+        print("lint: no JSON documents found", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(render_json(result, strict=args.strict))
+    else:
+        print(render_text(result, strict=args.strict))
+    return result.exit_code(strict=args.strict)
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -195,14 +226,21 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             ),
         )
     )
+    report = None
+    if result.assembled is not None:
+        report = check_composite_correctness(
+            result.assembled.recorded.system,
+            static_precheck=args.static_precheck,
+        )
+        if report.reduction.skipped_by_precheck:
+            result.metrics.static_precheck_skips += 1
     rows = [[k, v] for k, v in result.metrics.summary().items()]
     print(format_table(["metric", "value"], rows))
-    if result.assembled is not None:
-        report = check_composite_correctness(result.assembled.recorded.system)
-        print(
-            f"committed execution: "
-            f"{'Comp-C' if report.correct else 'NOT Comp-C'}"
-        )
+    if report is not None:
+        verdict = "Comp-C" if report.correct else "NOT Comp-C"
+        if report.reduction.skipped_by_precheck:
+            verdict += " (statically certified, reduction skipped)"
+        print(f"committed execution: {verdict}")
         if args.output:
             save(result.assembled.recorded, args.output)
             print(f"recorded execution written to {args.output}")
@@ -235,6 +273,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 "aborts by reason",
                 "wasted ops",
                 "Comp-C",
+                "lint",
             ],
             [
                 [
@@ -246,6 +285,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                     p.abort_breakdown(),
                     p.discarded_operations,
                     f"{p.comp_c_runs}/{p.assembled_runs}",
+                    p.lint_breakdown(),
                 ]
                 for p in points
             ],
@@ -495,7 +535,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the per-level reduction profile (wall time, "
         "closure calls, bitset rows touched)",
     )
+    _add_static_precheck_option(p)
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "lint",
+        help="static analysis of system/trace/topology documents "
+        "(stable CTX*** diagnostic codes)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="+",
+        help="JSON documents and/or directories (searched recursively "
+        "for *.json)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as errors for the exit code",
+    )
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("info", help="structure + criteria classification")
     p.add_argument("file")
@@ -530,6 +592,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--items", type=int, default=4)
     p.add_argument("--skew", type=float, default=0.8)
     p.add_argument("-o", "--output")
+    _add_static_precheck_option(p)
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser(

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.core.calculation import grouping_for_level
-from repro.core.front import Front, ReductionFailure
+from repro.core.front import Front
 from repro.core.reduction import ReductionResult
 from repro.core.system import CompositeSystem
 from repro.exceptions import ReductionError

@@ -22,7 +22,7 @@ endpoints; input-order edges are reported as requirements instead.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 from repro.core.observed import ObservedOrderOptions, seed_observed_pairs
 from repro.core.orders import Relation

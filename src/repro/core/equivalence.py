@@ -17,11 +17,10 @@ change transactional behaviour.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional
 
 from repro.core.front import Front
 from repro.core.observed import ObservedOrderOptions
-from repro.core.orders import Relation
 from repro.core.reduction import ReductionEngine
 from repro.core.serial import level_equivalent
 from repro.core.system import CompositeSystem

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from repro.core.calculation import (
     calculation_constraints,
@@ -46,6 +46,9 @@ from repro.core.orders import Relation, closure_counters
 from repro.core.system import CompositeSystem
 from repro.exceptions import ReductionError
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core <- lint)
+    from repro.lint.safety import StaticSafetyReport
+
 
 @dataclass
 class LevelProfile:
@@ -64,6 +67,9 @@ class LevelProfile:
     closure_rows: int
     nodes: int
     observed_pairs: int
+    #: the level was never executed — the static precheck certified the
+    #: whole system Comp-C and the reduction was skipped
+    skipped: bool = False
 
 
 @dataclass
@@ -84,10 +90,23 @@ class ReductionResult:
     #: per-level cost accounting, filled in by :meth:`ReductionEngine.run`
     #: (empty when the fronts were built by direct ``next_front`` calls)
     profile: List[LevelProfile] = field(default_factory=list)
+    #: the static safety prover's report when ``run(static_precheck=True)``
+    #: consulted it — certified or not; ``None`` when no precheck ran
+    static_certificate: "Optional[StaticSafetyReport]" = None
 
     @property
     def succeeded(self) -> bool:
         return self.failure is None
+
+    @property
+    def skipped_by_precheck(self) -> bool:
+        """True when the verdict came from the static certificate alone
+        (no fronts were constructed)."""
+        return (
+            self.static_certificate is not None
+            and self.static_certificate.certified
+            and not self.fronts
+        )
 
     def profile_totals(self) -> Dict[str, float]:
         """Aggregate the per-level profile (zeroes when not profiled)."""
@@ -111,12 +130,24 @@ class ReductionResult:
                 "no serial order: the reduction failed "
                 f"({self.failure.describe()})"
             )
+        if self.skipped_by_precheck:
+            raise ReductionError(
+                "no serial order was computed: the static precheck "
+                "certified the system and the reduction was skipped "
+                "(re-run without static_precheck for a witness)"
+            )
         return self.final_front.serialization()
 
     def narrative(self) -> str:
         """A human-readable account of the whole reduction, front by
         front — the format the examples and the F3/F4 benchmarks print."""
         lines: List[str] = []
+        if self.skipped_by_precheck:
+            return (
+                "reduction skipped -- "
+                + self.static_certificate.summary()
+                + "\nACCEPTED -- statically certified Comp-C"
+            )
         for front in self.fronts:
             lines.append(
                 f"level {front.level} front: "
@@ -385,16 +416,52 @@ class ReductionEngine:
         result.failure = failure
         return result
 
-    def run(self, *, stop_level: Optional[int] = None) -> ReductionResult:
+    def run(
+        self,
+        *,
+        stop_level: Optional[int] = None,
+        static_precheck: bool = False,
+    ) -> ReductionResult:
         """Run the reduction up to ``stop_level`` (default: the system
-        order ``N``, i.e. all the way to the roots)."""
+        order ``N``, i.e. all the way to the roots).
+
+        ``static_precheck`` consults the conservative prover of
+        :mod:`repro.lint.safety` first: when it certifies the system
+        statically Comp-C, no front is constructed at all — the result
+        carries the certificate, an empty front list, and one
+        ``skipped`` profile row accounting the prover's cost.  When the
+        prover declines, the full reduction runs as usual (with the
+        declined report attached for observability); verdicts are
+        identical either way because the certificate is sound.
+        """
+        result = ReductionResult(system=self.system, options=self.options)
+        if static_precheck and stop_level is None:
+            # Local import: lint builds on core, so core only reaches
+            # back lazily and only when the feature is requested.
+            from repro.lint.safety import prove_static_safety
+
+            tick = time.perf_counter()
+            certificate = prove_static_safety(self.system, self.options)
+            result.static_certificate = certificate
+            if certificate.certified:
+                result.profile.append(
+                    LevelProfile(
+                        level=0,
+                        seconds=time.perf_counter() - tick,
+                        closure_calls=0,
+                        closure_rows=0,
+                        nodes=len(self.system.leaves),
+                        observed_pairs=0,
+                        skipped=True,
+                    )
+                )
+                return result
         target = self.system.order if stop_level is None else stop_level
         if target > self.system.order:
             raise ReductionError(
                 f"requested level {target} exceeds the system order "
                 f"{self.system.order}"
             )
-        result = ReductionResult(system=self.system, options=self.options)
         tick = time.perf_counter()
         before = closure_counters()
         front = self.level0_front()
@@ -436,6 +503,9 @@ def reduce_to_roots(
     options: ObservedOrderOptions = ObservedOrderOptions(),
     *,
     incremental: bool = True,
+    static_precheck: bool = False,
 ) -> ReductionResult:
     """Run the full reduction (Theorem 1 decision procedure)."""
-    return ReductionEngine(system, options, incremental=incremental).run()
+    return ReductionEngine(system, options, incremental=incremental).run(
+        static_precheck=static_precheck
+    )

@@ -29,9 +29,11 @@ behaviour; it is the static input to the Comp-C checker.
 from __future__ import annotations
 
 from typing import (
+    Callable,
     Dict,
     FrozenSet,
     Iterable,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -46,15 +48,40 @@ from repro.exceptions import CycleError, ModelError, ScheduleAxiomError
 
 ConflictPair = FrozenSet[str]
 
+#: Callback used by :func:`_normalize_conflicts` to report a defective
+#: pair: ``(issue, (a, b))`` where ``issue`` is ``"self-conflict"`` or
+#: ``"duplicate"``.
+ConflictIssueHandler = Callable[[str, Tuple[str, str]], None]
+
 
 def _normalize_conflicts(
-    pairs: Iterable[Tuple[str, str]]
+    pairs: Iterable[Tuple[str, str]],
+    on_issue: Optional[ConflictIssueHandler] = None,
 ) -> Set[ConflictPair]:
+    """Normalize a conflict declaration into a set of unordered pairs.
+
+    Without ``on_issue`` (the engine's construction path) the first
+    self-conflicting pair raises :class:`ModelError` and duplicates are
+    silently collapsed.  With ``on_issue`` (the lint path) *every*
+    self-conflicting and duplicate pair is reported through the callback
+    in one pass — the collector decides what to do with them — and the
+    usable pairs are still returned.
+    """
     normalized: Set[ConflictPair] = set()
     for a, b in pairs:
         if a == b:
-            raise ModelError(f"operation {a!r} cannot conflict with itself")
-        normalized.add(frozenset((a, b)))
+            if on_issue is None:
+                raise ModelError(
+                    f"operation {a!r} cannot conflict with itself"
+                )
+            on_issue("self-conflict", (a, b))
+            continue
+        key: ConflictPair = frozenset((a, b))
+        if key in normalized:
+            if on_issue is not None:
+                on_issue("duplicate", (a, b))
+            continue
+        normalized.add(key)
     return normalized
 
 
@@ -310,62 +337,95 @@ class Schedule:
     # Def. 3 axioms
     # ------------------------------------------------------------------
     def validate_axioms(self) -> None:
-        """Raise :class:`ScheduleAxiomError` on the first violated axiom."""
-        for pair in self._conflicts:
+        """Raise :class:`ScheduleAxiomError` on the first violated axiom.
+
+        The engine's fail-fast entry point.  The checks themselves live
+        in :meth:`iter_axiom_violations` so the lint layer collects the
+        *same* violations the constructor would raise — the two can
+        never disagree.
+        """
+        for violation in self.iter_axiom_violations():
+            raise violation
+
+    def iter_axiom_violations(self) -> Iterator[ScheduleAxiomError]:
+        """Yield every Def. 3 axiom violation as a structured
+        (unraised) :class:`ScheduleAxiomError`, in axiom order."""
+        for pair in sorted(self._conflicts, key=sorted):
             a, b = sorted(pair)
             ta, tb = self._owner_of[a], self._owner_of[b]
             if ta == tb:
                 continue  # axiom 1 quantifies over distinct transactions
             if (ta, tb) in self._weak_input:
                 if (a, b) not in self._weak_output:
-                    raise ScheduleAxiomError(
+                    yield ScheduleAxiomError(
                         "1a",
                         f"{self.name}: {ta} -> {tb} but conflicting "
                         f"{a},{b} not weakly ordered {a} < {b}",
+                        schedule=self.name,
+                        operations=(a, b),
+                        transactions=(ta, tb),
                     )
             elif (tb, ta) in self._weak_input:
                 if (b, a) not in self._weak_output:
-                    raise ScheduleAxiomError(
+                    yield ScheduleAxiomError(
                         "1b",
                         f"{self.name}: {tb} -> {ta} but conflicting "
                         f"{b},{a} not weakly ordered {b} < {a}",
+                        schedule=self.name,
+                        operations=(b, a),
+                        transactions=(tb, ta),
                     )
             elif not self._weak_output.orders(a, b):
-                raise ScheduleAxiomError(
+                yield ScheduleAxiomError(
                     "1c",
                     f"{self.name}: conflicting operations {a},{b} of "
                     "unordered transactions are not output-ordered",
+                    schedule=self.name,
+                    operations=(a, b),
+                    transactions=(ta, tb),
                 )
         for txn in self._transactions.values():
             for a, b in txn.weak_order.pairs():
                 if (a, b) not in self._weak_output:
-                    raise ScheduleAxiomError(
+                    yield ScheduleAxiomError(
                         "2a",
                         f"{self.name}: intra order {a} < {b} of {txn.name} "
                         "not reflected in the weak output order",
+                        schedule=self.name,
+                        operations=(a, b),
+                        transactions=(txn.name,),
                     )
             for a, b in txn.strong_order.pairs():
                 if (a, b) not in self._strong_output:
-                    raise ScheduleAxiomError(
+                    yield ScheduleAxiomError(
                         "2b",
                         f"{self.name}: strong intra order {a} << {b} of "
                         f"{txn.name} not reflected in the strong output",
+                        schedule=self.name,
+                        operations=(a, b),
+                        transactions=(txn.name,),
                     )
         for t, t2 in self._strong_input.pairs():
             for a in self._transactions[t].operations:
                 for b in self._transactions[t2].operations:
                     if (a, b) not in self._strong_output:
-                        raise ScheduleAxiomError(
+                        yield ScheduleAxiomError(
                             "3",
                             f"{self.name}: {t} >> {t2} but {a} << {b} "
                             "missing from the strong output order",
+                            schedule=self.name,
+                            operations=(a, b),
+                            transactions=(t, t2),
                         )
         # Axiom 4 (strong ⊆ weak) holds by construction, but re-check so a
         # future refactor cannot silently break it.
         for a, b in self._strong_output.pairs():
             if (a, b) not in self._weak_output:
-                raise ScheduleAxiomError(
-                    "4", f"{self.name}: {a} << {b} but not {a} < {b}"
+                yield ScheduleAxiomError(
+                    "4",
+                    f"{self.name}: {a} << {b} but not {a} < {b}",
+                    schedule=self.name,
+                    operations=(a, b),
                 )
 
     # ------------------------------------------------------------------

@@ -24,7 +24,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.orders import Relation
 from repro.core.schedule import Schedule
-from repro.exceptions import CycleError, ModelError
+from repro.exceptions import CycleError, ModelError, OrderPropagationError
 
 
 class CompositeSystem:
@@ -129,9 +129,21 @@ class CompositeSystem:
         self._order = max(levels.values())
 
     def _validate_order_propagation(self) -> None:
-        """Def. 4.7: a caller's output orders between two operations that
-        are transactions of the *same* callee must appear as the callee's
-        input orders."""
+        """Def. 4.7: raise on the first missing input-order propagation.
+
+        The checks live in :meth:`iter_order_propagation_violations` so
+        the lint layer reports exactly what the constructor enforces.
+        """
+        for violation in self.iter_order_propagation_violations():
+            raise violation
+
+    def iter_order_propagation_violations(
+        self,
+    ) -> Iterator[OrderPropagationError]:
+        """Yield every Def. 4.7 violation as a structured (unraised)
+        :class:`OrderPropagationError`: a caller's output orders between
+        two operations that are transactions of the *same* callee must
+        appear as the callee's input orders."""
         for sname, schedule in self._schedules.items():
             ops = schedule.operations
             for a in ops:
@@ -146,19 +158,27 @@ class CompositeSystem:
                         a,
                         b,
                     ) not in callee.weak_input:
-                        raise ModelError(
+                        yield OrderPropagationError(
                             f"Def. 4.7 violated: {a} < {b} in the output of "
                             f"{sname!r} but {a} -> {b} missing from the "
-                            f"input order of {sa!r}"
+                            f"input order of {sa!r}",
+                            caller=sname,
+                            callee=sa,
+                            pair=(a, b),
+                            kind="weak",
                         )
                     if (a, b) in schedule.strong_output and (
                         a,
                         b,
                     ) not in callee.strong_input:
-                        raise ModelError(
+                        yield OrderPropagationError(
                             f"Def. 4.7 violated: {a} << {b} in the output of "
                             f"{sname!r} but {a} ->> {b} missing from the "
-                            f"strong input order of {sa!r}"
+                            f"strong input order of {sa!r}",
+                            caller=sname,
+                            callee=sa,
+                            pair=(a, b),
+                            kind="strong",
                         )
 
     # ------------------------------------------------------------------

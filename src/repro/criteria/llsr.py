@@ -24,7 +24,6 @@ it (the paper's modularity complaint).
 
 from __future__ import annotations
 
-from itertools import combinations
 
 from repro.core.observed import ObservedOrderOptions
 from repro.core.reduction import reduce_to_roots

@@ -28,12 +28,54 @@ class ScheduleAxiomError(ModelError):
 
     The offending axiom is recorded in :attr:`axiom` using the paper's
     numbering (``"1a"``, ``"1b"``, ``"1c"``, ``"2a"``, ``"2b"``, ``"3"``,
-    ``"4"``).
+    ``"4"``).  The violation is also carried structurally so callers
+    (the lint layer, debuggers) never have to parse the message:
+    :attr:`schedule` names the offending schedule, :attr:`operations`
+    the operation pair and :attr:`transactions` the transaction pair
+    involved (either tuple may be empty when the axiom does not mention
+    that kind of node).
     """
 
-    def __init__(self, axiom: str, message: str) -> None:
+    def __init__(
+        self,
+        axiom: str,
+        message: str,
+        *,
+        schedule: "str | None" = None,
+        operations: "tuple[str, ...]" = (),
+        transactions: "tuple[str, ...]" = (),
+    ) -> None:
         super().__init__(f"schedule axiom {axiom} violated: {message}")
         self.axiom = axiom
+        self.schedule = schedule
+        self.operations = tuple(operations)
+        self.transactions = tuple(transactions)
+
+
+class OrderPropagationError(ModelError):
+    """Def. 4.7 violated: a caller's output order between two operations
+    that are transactions of one callee is missing from that callee's
+    input order.
+
+    Carries the violation structurally: :attr:`caller` / :attr:`callee`
+    are the schedule names, :attr:`pair` the offending operation pair,
+    and :attr:`kind` is ``"weak"`` or ``"strong"``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        caller: str,
+        callee: str,
+        pair: "tuple[str, str]",
+        kind: str,
+    ) -> None:
+        super().__init__(message)
+        self.caller = caller
+        self.callee = callee
+        self.pair = (pair[0], pair[1])
+        self.kind = kind
 
 
 class CycleError(ModelError):

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Union
 
 from repro.core.builder import SystemBuilder
 from repro.core.system import CompositeSystem

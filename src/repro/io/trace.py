@@ -58,12 +58,18 @@ def trace_to_dict(result: ReductionResult) -> Dict:
                 "closure_rows": p.closure_rows,
                 "nodes": p.nodes,
                 "observed_pairs": p.observed_pairs,
+                "skipped": p.skipped,
             }
             for p in result.profile
         ],
     }
+    if result.static_certificate is not None:
+        document["static_certificate"] = result.static_certificate.to_dict()
     if result.succeeded:
-        document["serial_witness"] = result.serial_order()
+        if result.skipped_by_precheck:
+            document["serial_witness"] = None
+        else:
+            document["serial_witness"] = result.serial_order()
     else:
         failure = result.failure
         document["failure"] = {
@@ -105,6 +111,9 @@ class ReductionTrace:
     profile: List[LevelProfile] = field(default_factory=list)
     serial_witness: Optional[List[str]] = None
     failure: Optional[Dict] = None
+    #: the static prover's report (plain dict) when the producing run
+    #: used ``static_precheck``; ``None`` otherwise
+    static_certificate: Optional[Dict] = None
 
     def level(self, level: int) -> Front:
         for front in self.fronts:
@@ -159,11 +168,13 @@ def trace_from_dict(document: Dict) -> ReductionTrace:
                 closure_rows=p["closure_rows"],
                 nodes=p["nodes"],
                 observed_pairs=p["observed_pairs"],
+                skipped=p.get("skipped", False),
             )
             for p in document.get("profile", [])
         ],
         serial_witness=document.get("serial_witness"),
         failure=document.get("failure"),
+        static_certificate=document.get("static_certificate"),
     )
 
 

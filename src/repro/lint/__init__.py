@@ -1,0 +1,84 @@
+"""Static analysis for composite systems (the ``composite-tx lint``
+subsystem).
+
+Three passes over the model vocabulary of the paper:
+
+* :mod:`repro.lint.wellformed` — every Def. 3 schedule axiom and Def. 4
+  system constraint as *collected* diagnostics instead of fail-fast
+  exceptions;
+* :mod:`repro.lint.safety` — a conservative static Comp-C prover that
+  can certify "no execution of this system ever fails conflict
+  consistency" (letting the reduction be skipped) or warn about
+  potential conflict cycles;
+* :mod:`repro.lint.report` — the document/file surface with text and
+  JSON rendering and the exit-code contract.
+
+Every finding carries a stable ``CTX***`` code registered in
+:mod:`repro.lint.diagnostics`.
+"""
+
+from repro.lint.diagnostics import (
+    AXIOM_CODES,
+    CODES,
+    Diagnostic,
+    DiagnosticCollector,
+    Location,
+    Severity,
+)
+from repro.lint.report import (
+    FileReport,
+    LintResult,
+    lint_document,
+    lint_file,
+    lint_paths,
+    lint_system,
+    render_json,
+    render_text,
+)
+from repro.lint.safety import (
+    LevelWitness,
+    SafetyEdge,
+    StaticSafetyReport,
+    analyze_system_safety,
+    analyze_topology_safety,
+    prove_static_safety,
+)
+from repro.lint.wellformed import (
+    axiom_diagnostic,
+    lint_order_propagation,
+    lint_schedule_axioms,
+    lint_schedules,
+    lint_system_document,
+    lint_topology_document,
+    lint_trace_document,
+)
+
+__all__ = [
+    "AXIOM_CODES",
+    "CODES",
+    "Diagnostic",
+    "DiagnosticCollector",
+    "FileReport",
+    "LevelWitness",
+    "LintResult",
+    "Location",
+    "SafetyEdge",
+    "Severity",
+    "StaticSafetyReport",
+    "analyze_system_safety",
+    "analyze_topology_safety",
+    "axiom_diagnostic",
+    "lint_document",
+    "lint_order_propagation",
+    "lint_schedule_axioms",
+    "lint_file",
+    "lint_paths",
+    "lint_schedules",
+    "lint_system",
+    "lint_system_document",
+    "lint_topology_document",
+    "lint_trace_document",
+    "prove_static_safety",
+    "render_json",
+    "render_text",
+]

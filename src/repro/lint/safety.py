@@ -1,0 +1,402 @@
+"""The static safety pass: a conservative Comp-C prover.
+
+Theorem 1 decides Comp-C by running the full reduction.  This pass
+answers a cheaper question *without* executing Def. 16: **could** the
+union of observed and input orders ever contain a cycle?  Every
+relation the reduction feeds into a conflict-consistency check
+descends from exactly two sources:
+
+* a **conflict pair** of some schedule (observed-order seeds are
+  conflict-gated, and pull-up only rewrites endpoints to ancestors), or
+* a schedule's **weak input order** (closures decompose into covering
+  pairs).
+
+Projecting each source onto the level-``l`` front — mapping every node
+to its level-``l`` representative (the ancestor it has been grouped
+into) — turns a directed cycle of the front into a closed walk through
+*distinct* undirected edges of a small multigraph.  Distinct, because a
+single source edge projects to a single orientation at a given level;
+so the walk contains an undirected cycle.  Contrapositive: **if the
+level-``l`` multigraph is a forest for every level, no front can ever
+fail conflict consistency** — the system is Comp-C for *any* recorded
+execution, and the reduction can be skipped.
+
+The prover is conservative in exactly one direction: a forest certifies
+safety (soundness — the projection argument above), but a multigraph
+cycle only means a conflict cycle is *possible*; the reduction may
+still accept the actual execution.  Cycles are therefore reported as
+``CTX301`` warnings, never errors.
+
+The argument relies on conflict-gated observed-order seeding, so the
+prover declines (``certified=False`` with a reason, no warnings) when
+:class:`~repro.core.observed.ObservedOrderOptions` asks for
+``seed_leaf_order`` — verbatim Def. 10.1 seeds record non-conflict
+pairs the multigraph does not model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.observed import ObservedOrderOptions
+from repro.core.orders import Relation
+from repro.core.system import CompositeSystem
+from repro.lint.diagnostics import DiagnosticCollector
+from repro.workloads.topologies import TopologySpec
+
+
+@dataclass(frozen=True)
+class SafetyEdge:
+    """One edge of the level-``l`` potential-conflict multigraph.
+
+    ``endpoints`` are the level-``l`` representatives; ``pair`` is the
+    original item pair (a conflict pair or a weak-input covering pair)
+    of ``schedule`` the edge projects.
+    """
+
+    endpoints: Tuple[str, str]
+    source: str  # "conflict" | "input"
+    schedule: str
+    pair: Tuple[str, str]
+
+    def describe(self) -> str:
+        a, b = self.pair
+        what = "conflict" if self.source == "conflict" else "input order"
+        return f"{self.schedule}:{what}({a}, {b})"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "endpoints": list(self.endpoints),
+            "source": self.source,
+            "schedule": self.schedule,
+            "pair": list(self.pair),
+        }
+
+
+@dataclass(frozen=True)
+class LevelWitness:
+    """The per-level certificate: either *forest* (no cycle can form at
+    this level, with the component/edge counts as the witness) or one
+    concrete multigraph cycle."""
+
+    level: int
+    node_count: int
+    edge_count: int
+    forest: bool
+    cycle_nodes: Tuple[str, ...] = ()
+    cycle_edges: Tuple[SafetyEdge, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "level": self.level,
+            "node_count": self.node_count,
+            "edge_count": self.edge_count,
+            "forest": self.forest,
+            "cycle_nodes": list(self.cycle_nodes),
+            "cycle_edges": [e.to_dict() for e in self.cycle_edges],
+        }
+
+
+@dataclass(frozen=True)
+class StaticSafetyReport:
+    """The prover's verdict over all levels ``0..N``.
+
+    ``certified`` means every level's multigraph is a forest: the
+    system is statically Comp-C and the reduction may be skipped.
+    When not certified, ``reason`` says why (declined options or a
+    witness cycle) and the non-forest witnesses carry the cycles.
+    """
+
+    certified: bool
+    reason: Optional[str]
+    witnesses: Tuple[LevelWitness, ...] = ()
+
+    @property
+    def cycle_witnesses(self) -> Tuple[LevelWitness, ...]:
+        return tuple(w for w in self.witnesses if not w.forest)
+
+    def summary(self) -> str:
+        if self.certified:
+            checked = ", ".join(
+                f"L{w.level}:{w.edge_count}e/{w.node_count}n"
+                for w in self.witnesses
+            )
+            return (
+                "statically Comp-C: every per-level potential-conflict "
+                f"multigraph is a forest ({checked})"
+            )
+        return f"not statically certified: {self.reason}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "certified": self.certified,
+            "reason": self.reason,
+            "witnesses": [w.to_dict() for w in self.witnesses],
+        }
+
+
+def _representative(system: CompositeSystem, node: str, level: int) -> str:
+    """The level-``level`` representative of ``node``: walk the parent
+    chain while the grouping step has already happened (Def. 16.2)."""
+    while True:
+        grouping = system.grouping_level(node)
+        if grouping is None or grouping > level:
+            return node
+        node = system.parent(node)
+
+
+def _covering_pairs(relation: Relation) -> List[Tuple[str, str]]:
+    """The covering (Hasse) pairs of a transitively closed relation.
+
+    Using covering pairs instead of the closure keeps the multigraph
+    honest: the closure of a chain ``a < b < c`` would add the chord
+    ``(a, c)`` and turn every 3-chain into a spurious triangle.
+    """
+    out: List[Tuple[str, str]] = []
+    for a, b in sorted(relation.pairs()):
+        if any(c != b and (c, b) in relation for c in relation.successors(a)):
+            continue
+        out.append((a, b))
+    return out
+
+
+def _level_edges(
+    system: CompositeSystem, level: int
+) -> List[SafetyEdge]:
+    """The potential-conflict multigraph edges at reduction level
+    ``level``, in a deterministic order."""
+    edges: List[SafetyEdge] = []
+    reps: Dict[str, str] = {}
+
+    def rep(node: str) -> str:
+        cached = reps.get(node)
+        if cached is None:
+            cached = _representative(system, node, level)
+            reps[node] = cached
+        return cached
+
+    for sname in sorted(system.schedules):
+        schedule = system.schedules[sname]
+        for pair in sorted(schedule.conflicts, key=sorted):
+            a, b = sorted(pair)
+            if (
+                system.materialization_level(a) > level
+                or system.materialization_level(b) > level
+            ):
+                continue  # the operations are not front nodes yet
+            u, v = rep(a), rep(b)
+            if u == v:
+                continue  # internal to one subtree: ordered below `level`
+            edges.append(
+                SafetyEdge(
+                    endpoints=(u, v) if u <= v else (v, u),
+                    source="conflict",
+                    schedule=sname,
+                    pair=(a, b),
+                )
+            )
+        if system.level_of(sname) <= level:
+            for a, b in _covering_pairs(schedule.weak_input):
+                u, v = rep(a), rep(b)
+                if u == v:
+                    continue
+                edges.append(
+                    SafetyEdge(
+                        endpoints=(u, v) if u <= v else (v, u),
+                        source="input",
+                        schedule=sname,
+                        pair=(a, b),
+                    )
+                )
+    return edges
+
+
+def _front_size(system: CompositeSystem, level: int) -> int:
+    """How many nodes the level-``level`` front has."""
+    count = 0
+    for node in system.all_nodes():
+        grouping = system.grouping_level(node)
+        if system.materialization_level(node) <= level and (
+            grouping is None or grouping > level
+        ):
+            count += 1
+    return count
+
+
+def _check_level(system: CompositeSystem, level: int) -> LevelWitness:
+    """Union-find forest test over the level multigraph; parallel edges
+    count as cycles (two sources connecting the same components can
+    orient against each other)."""
+    edges = _level_edges(system, level)
+    parent: Dict[str, str] = {}
+    adjacency: Dict[str, List[Tuple[str, SafetyEdge]]] = {}
+
+    def find(x: str) -> str:
+        root = x
+        while parent.setdefault(root, root) != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    for edge in edges:
+        u, v = edge.endpoints
+        ru, rv = find(u), find(v)
+        if ru == rv:
+            path = _forest_path(adjacency, u, v)
+            cycle_nodes = tuple(n for n, _ in path) + (v, u)
+            cycle_edges = tuple(e for _, e in path if e is not None) + (
+                edge,
+            )
+            return LevelWitness(
+                level=level,
+                node_count=_front_size(system, level),
+                edge_count=len(edges),
+                forest=False,
+                cycle_nodes=cycle_nodes,
+                cycle_edges=cycle_edges,
+            )
+        parent[ru] = rv
+        adjacency.setdefault(u, []).append((v, edge))
+        adjacency.setdefault(v, []).append((u, edge))
+    return LevelWitness(
+        level=level,
+        node_count=_front_size(system, level),
+        edge_count=len(edges),
+        forest=True,
+    )
+
+
+def _forest_path(
+    adjacency: Mapping[str, Sequence[Tuple[str, "SafetyEdge"]]],
+    start: str,
+    goal: str,
+) -> List[Tuple[str, Optional[SafetyEdge]]]:
+    """The unique ``start -> goal`` path in the current forest, as
+    ``(node, edge-to-next)`` steps (the last step's edge is ``None``
+    placeholder-free: ``goal`` itself is not included)."""
+    if start == goal:
+        return []
+    frontier = [start]
+    came_from: Dict[str, Tuple[str, SafetyEdge]] = {start: (start, None)}  # type: ignore[dict-item]
+    while frontier:
+        node = frontier.pop()
+        for neighbour, edge in adjacency.get(node, ()):
+            if neighbour in came_from:
+                continue
+            came_from[neighbour] = (node, edge)
+            if neighbour == goal:
+                frontier = []
+                break
+            frontier.append(neighbour)
+    if goal not in came_from:
+        return [(start, None)]  # pragma: no cover - forest invariant
+    steps: List[Tuple[str, Optional[SafetyEdge]]] = []
+    cursor = goal
+    while cursor != start:
+        previous, edge = came_from[cursor]
+        steps.append((previous, edge))
+        cursor = previous
+    steps.reverse()
+    return steps
+
+
+def prove_static_safety(
+    system: CompositeSystem,
+    options: Optional[ObservedOrderOptions] = None,
+) -> StaticSafetyReport:
+    """Try to certify the system statically Comp-C (see module doc).
+
+    The verdict quantifies over *all* recorded executions of the
+    system's schedules, so a certificate also covers re-runs with
+    different execution sequences.
+    """
+    if options is not None and options.seed_leaf_order:
+        return StaticSafetyReport(
+            certified=False,
+            reason=(
+                "seed_leaf_order records non-conflict observed pairs; "
+                "the static argument only covers conflict-gated seeds"
+            ),
+        )
+    witnesses: List[LevelWitness] = []
+    for level in range(system.order + 1):
+        witnesses.append(_check_level(system, level))
+    cycles = [w for w in witnesses if not w.forest]
+    if not cycles:
+        return StaticSafetyReport(
+            certified=True, reason=None, witnesses=tuple(witnesses)
+        )
+    first = cycles[0]
+    return StaticSafetyReport(
+        certified=False,
+        reason=(
+            f"level-{first.level} potential conflict cycle through "
+            + " -> ".join(first.cycle_nodes)
+        ),
+        witnesses=tuple(witnesses),
+    )
+
+
+def analyze_system_safety(
+    collector: DiagnosticCollector,
+    system: CompositeSystem,
+    options: Optional[ObservedOrderOptions] = None,
+) -> StaticSafetyReport:
+    """Run the prover and surface each non-forest level as a ``CTX301``
+    warning naming the component cycle and the item pairs behind it."""
+    report = prove_static_safety(system, options)
+    for witness in report.cycle_witnesses:
+        pairs = "; ".join(e.describe() for e in witness.cycle_edges)
+        collector.report(
+            "CTX301",
+            f"level-{witness.level} front could form a conflict cycle "
+            f"through {' -> '.join(witness.cycle_nodes)} (via {pairs})",
+            nodes=witness.cycle_nodes,
+            fix_hint="break the cycle (drop a conflict or an input-order "
+            "pair) or rely on the full reduction to check the recorded "
+            "execution",
+        )
+    return report
+
+
+def analyze_topology_safety(
+    collector: DiagnosticCollector, spec: TopologySpec
+) -> bool:
+    """The topology-level analogue: an undirected cycle in the
+    invocation multigraph means two components can reach each other
+    along two different routes — conflicts along those routes *could*
+    close a cycle once programs are known.  A forest topology merely
+    lacks that route structure; it is **not** a certificate (the
+    programs and their conflicts are unknown), so no per-level witness
+    is produced and ``True`` only means "no warning".
+    """
+    parent: Dict[str, str] = {}
+
+    def find(x: str) -> str:
+        root = x
+        while parent.setdefault(root, root) != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for caller in sorted(spec.invokes):
+        for callee in spec.invokes[caller]:
+            ru, rv = find(caller), find(callee)
+            if ru == rv:
+                collector.report(
+                    "CTX301",
+                    f"components {caller!r} and {callee!r} are connected "
+                    "along two invocation routes — cross-schedule "
+                    "conflicts could form a cycle",
+                    schedule=caller,
+                    nodes=(caller, callee),
+                    fix_hint="a tree-shaped topology is statically safe "
+                    "for any programs; otherwise run the full checker on "
+                    "the recorded execution",
+                )
+                return False
+            parent[ru] = rv
+    return True

@@ -20,7 +20,7 @@ The model captures the key practical dichotomy:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.core.builder import SystemBuilder
 from repro.core.system import CompositeSystem

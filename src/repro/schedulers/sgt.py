@@ -10,7 +10,7 @@ the classical protocols.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import List, Set, Tuple
 
 from repro.core.orders import Relation
 from repro.schedulers.base import Access, ComponentScheduler, Decision

@@ -9,7 +9,7 @@ given seed.  Events can be cancelled (lazily) via their handle.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 

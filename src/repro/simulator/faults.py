@@ -33,7 +33,7 @@ two runs of the same config + plan are bit-for-bit identical.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.exceptions import FaultError

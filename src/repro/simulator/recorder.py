@@ -20,12 +20,12 @@ so the checker can still classify them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.builder import SystemBuilder
 from repro.criteria.registry import RecordedExecution
-from repro.exceptions import CompositeTxError, ModelError, ScheduleAxiomError
+from repro.exceptions import ModelError, ScheduleAxiomError
 
 
 @dataclass

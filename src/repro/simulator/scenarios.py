@@ -32,7 +32,7 @@ Use with the engine::
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 from repro.exceptions import WorkloadError
 from repro.simulator.programs import AccessStep, CallStep, Program

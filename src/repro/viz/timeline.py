@@ -13,7 +13,7 @@ glance).  Used by the CLI's ``info`` command and handy in notebooks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 from repro.criteria.registry import RecordedExecution
 

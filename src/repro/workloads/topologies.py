@@ -22,7 +22,7 @@ The shapes match the paper's taxonomy:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.exceptions import WorkloadError

@@ -1,0 +1,146 @@
+"""The ``composite-tx lint`` exit-code contract and output formats.
+
+0 = every document clean, 1 = usage/IO problem (missing path, nothing
+to lint), 2 = error findings — or any finding under ``--strict``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+
+CLEAN_DOC = """{
+  "schedules": {
+    "S": {"transactions": {"T1": ["a"], "T2": ["b"]},
+          "conflicts": [["a", "b"]],
+          "executed": ["a", "b"]}
+  }
+}"""
+
+#: warnings only: the lost-update *shape* (statically unsafe, CTX301)
+#: around an execution the reduction accepts — no errors.
+WARNING_DOC = """{
+  "schedules": {
+    "S1": {"transactions": {"T1": ["a", "b"], "T2": ["c"]},
+           "conflicts": [["a", "c"], ["c", "b"]],
+           "executed": ["a", "b", "c"]}
+  }
+}"""
+
+ERROR_DOC = '{"schedules": {"S": {"transactions": {"T": ["x", "x"]}}}}'
+
+
+@pytest.fixture()
+def clean_file(tmp_path):
+    path = tmp_path / "clean.json"
+    path.write_text(CLEAN_DOC, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture()
+def warning_file(tmp_path):
+    path = tmp_path / "warn.json"
+    path.write_text(WARNING_DOC, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture()
+def error_file(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(ERROR_DOC, encoding="utf-8")
+    return str(path)
+
+
+def test_clean_file_exits_zero(clean_file, capsys):
+    assert main(["lint", clean_file]) == 0
+    out = capsys.readouterr().out
+    assert "OK: 1 document(s), 0 error(s), 0 warning(s)" in out
+    assert "statically Comp-C" in out  # the certificate is surfaced
+
+
+def test_error_file_exits_two(error_file, capsys):
+    assert main(["lint", error_file]) == 2
+    out = capsys.readouterr().out
+    assert "CTX203" in out
+    assert "FAIL" in out
+
+
+def test_warnings_pass_unless_strict(warning_file, capsys):
+    assert main(["lint", warning_file]) == 0
+    assert "CTX301" in capsys.readouterr().out
+    assert main(["lint", warning_file, "--strict"]) == 2
+    out = capsys.readouterr().out
+    assert "[strict]" in out
+    assert "FAIL" in out
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "nope.json")]) == 1
+    assert "no such file or directory" in capsys.readouterr().err
+
+
+def test_empty_directory_is_usage_error(tmp_path, capsys):
+    assert main(["lint", str(tmp_path)]) == 1
+    assert capsys.readouterr().err
+
+
+def test_invalid_json_is_a_finding_not_a_crash(tmp_path, capsys):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json", encoding="utf-8")
+    assert main(["lint", str(path)]) == 2
+    assert "CTX305" in capsys.readouterr().out
+
+
+def test_directory_recursion_is_deterministic(
+    tmp_path, clean_file, capsys
+):
+    (tmp_path / "sub").mkdir()
+    (tmp_path / "sub" / "b.json").write_text(CLEAN_DOC, encoding="utf-8")
+    (tmp_path / "a.json").write_text(WARNING_DOC, encoding="utf-8")
+    assert main(["lint", str(tmp_path), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    paths = [f["path"] for f in payload["files"]]
+    assert paths == sorted(paths)
+    assert len(paths) >= 3  # a.json, clean.json, sub/b.json
+
+
+def test_json_format_matches_exit_code(warning_file, capsys):
+    code = main(["lint", warning_file, "--format", "json", "--strict"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 2
+    assert payload["exit_code"] == 2
+    assert payload["strict"] is True
+    assert payload["errors"] == 0
+    assert payload["warnings"] >= 1
+    assert payload["counts"] == {"CTX301": payload["warnings"]}
+    [entry] = payload["files"]
+    assert entry["safety"]["certified"] is False
+
+
+def test_mixed_kinds_in_one_run(tmp_path, capsys):
+    (tmp_path / "sys.json").write_text(CLEAN_DOC, encoding="utf-8")
+    (tmp_path / "topo.json").write_text(
+        json.dumps(
+            {
+                "levels": {"A": 2, "B": 1},
+                "invokes": {"A": ["B"], "B": []},
+                "root_schedules": ["A"],
+            }
+        ),
+        encoding="utf-8",
+    )
+    assert main(["lint", str(tmp_path), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    kinds = {f["path"].rsplit("/", 1)[-1]: f["kind"] for f in payload["files"]}
+    assert kinds == {"sys.json": "system", "topo.json": "topology"}
+
+
+def test_examples_directory_is_lint_clean_under_strict(capsys):
+    """The acceptance gate CI runs: the shipped examples stay clean."""
+    assert main(["lint", str(REPO / "examples"), "--strict"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith(("OK", str(REPO)))

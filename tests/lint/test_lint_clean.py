@@ -1,0 +1,131 @@
+"""Property: a lint-clean document constructs without ModelError.
+
+The raw pass mirrors every unconditional constructor check, so "no
+error diagnostics" must imply that ``SystemBuilder.from_spec(...)
+.build(validate=True, propagate_orders=False)`` succeeds — the linter
+is allowed to be stricter than the engine (warnings), never blinder.
+
+The strategy starts from generator-produced (valid) documents and
+applies a few random mutations, so both the clean path and a wide
+variety of dirty documents are exercised.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import SystemBuilder
+from repro.exceptions import CompositeTxError
+from repro.io import system_to_spec
+from repro.lint import lint_document
+from repro.workloads.generator import WorkloadConfig, generate
+from repro.workloads.topologies import (
+    fork_topology,
+    stack_topology,
+    tree_topology,
+)
+
+_SPECS = [stack_topology(2), fork_topology(2), tree_topology(2, 2)]
+
+
+def _base_document(spec_index: int, seed: int) -> dict:
+    spec = _SPECS[spec_index]
+    recorded = generate(
+        spec,
+        WorkloadConfig(
+            seed=seed, roots=2, conflict_probability=(seed % 3) * 0.15
+        ),
+    )
+    return system_to_spec(recorded.system)
+
+
+def _mutate(document: dict, rng_draw, data) -> None:
+    """Apply one structural mutation chosen by hypothesis."""
+    schedules = document["schedules"]
+    sname = data.draw(st.sampled_from(sorted(schedules)))
+    body = schedules[sname]
+    txns = body.get("transactions", {})
+    ops = [
+        op
+        for tdef in txns.values()
+        for op in (tdef["ops"] if isinstance(tdef, dict) else tdef)
+    ]
+    kind = data.draw(
+        st.sampled_from(
+            [
+                "self_conflict",
+                "duplicate_conflict",
+                "unknown_conflict",
+                "unknown_input",
+                "cyclic_input",
+                "duplicate_op",
+                "drop_from_executed",
+                "bad_version",
+            ]
+        )
+    )
+    if kind == "self_conflict" and ops:
+        body.setdefault("conflicts", []).append([ops[0], ops[0]])
+    elif kind == "duplicate_conflict" and body.get("conflicts"):
+        a, b = body["conflicts"][0]
+        body["conflicts"].append([b, a])
+    elif kind == "unknown_conflict" and ops:
+        body.setdefault("conflicts", []).append([ops[0], "__missing__"])
+    elif kind == "unknown_input":
+        body.setdefault("weak_input", []).append(["__t1__", "__t2__"])
+    elif kind == "cyclic_input" and len(txns) >= 2:
+        t1, t2 = sorted(txns)[:2]
+        body.setdefault("weak_input", []).extend([[t1, t2], [t2, t1]])
+    elif kind == "duplicate_op" and txns:
+        tname = sorted(txns)[0]
+        tdef = txns[tname]
+        if isinstance(tdef, dict):
+            tdef["ops"] = list(tdef["ops"]) + list(tdef["ops"][:1])
+        elif tdef:
+            txns[tname] = list(tdef) + [tdef[0]]
+    elif kind == "drop_from_executed" and body.get("executed"):
+        body["executed"] = body["executed"][:-1]
+    elif kind == "bad_version":
+        document["version"] = 99
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    spec_index=st.integers(min_value=0, max_value=len(_SPECS) - 1),
+    seed=st.integers(min_value=0, max_value=500),
+    mutations=st.integers(min_value=0, max_value=2),
+    data=st.data(),
+)
+def test_lint_clean_documents_construct(spec_index, seed, mutations, data):
+    document = _base_document(spec_index, seed)
+    for _ in range(mutations):
+        _mutate(document, None, data)
+    # the document must survive JSON round-tripping (the CLI path)
+    document = json.loads(json.dumps(document))
+    report = lint_document(document)
+    if report.collector.has_errors():
+        return  # dirty documents are the linter's job, not this property's
+    try:
+        system = (
+            SystemBuilder.from_spec(document)
+            .build(validate=True, propagate_orders=False)
+        )
+    except CompositeTxError as err:  # pragma: no cover - the failure mode
+        raise AssertionError(
+            f"lint-clean document failed to construct: {err}"
+        ) from err
+    assert set(system.schedules) == set(document["schedules"])
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    spec_index=st.integers(min_value=0, max_value=len(_SPECS) - 1),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_generator_output_is_always_lint_clean(spec_index, seed):
+    """Unmutated generator documents never produce error findings (they
+    may still earn CTX301 warnings — that is the prover's business)."""
+    report = lint_document(_base_document(spec_index, seed))
+    assert not report.collector.has_errors()
+    assert all(d.code == "CTX301" for d in report.collector.warnings)
