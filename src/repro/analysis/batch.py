@@ -16,6 +16,20 @@ bit-identical to ``--workers 1``.  The serial path (``workers <= 1``)
 calls the very same worker functions in-process, so it *is* the old
 code path, not an approximation of it.
 
+The contract extends to telemetry: when the ambient
+:func:`repro.obs.current` sink is active (or one is passed explicitly),
+every task runs under its own ``taskNNNN`` stream named by submission
+index, serial or sharded alike, and the collected events merge into one
+canonical ``(stream, seq)`` order — so a ``--workers 4`` telemetry file
+is a stable merge of the per-worker streams, identical (modulo wall
+durations) to the serial file.
+
+Failure reporting: a raising worker surfaces as
+:class:`repro.exceptions.BatchTaskError` carrying the failing task and
+its submission index — ``ProcessPoolExecutor.map`` alone loses which
+grid cell died.  The error is raised for the *earliest* failing task in
+submission order, another determinism guarantee.
+
 Workers are module-level functions taking one picklable task tuple —
 a requirement of the ``fork``/``spawn`` process pool, and the reason
 the per-run halves of :mod:`repro.analysis.protocols` et al. are
@@ -24,14 +38,71 @@ top-level functions rather than closures.
 
 from __future__ import annotations
 
+import dataclasses
 import math
+import traceback
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+from dataclasses import dataclass
+from functools import partial
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
+from repro.exceptions import BatchTaskError
+from repro.obs import Telemetry, TelemetryEvent, current, using
 from repro.simulator.metrics import Metrics
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+@dataclass
+class _TaskOutcome:
+    """What one guarded worker call ships back (always picklable)."""
+
+    index: int
+    result: Any
+    events: List[TelemetryEvent]
+    error: Optional[str]  # repr of the exception, None on success
+    error_traceback: str = ""
+
+
+def _run_guarded(
+    worker: Callable[[T], R],
+    capture: bool,
+    pair: Tuple[int, T],
+) -> _TaskOutcome:
+    """Run one task under its own telemetry stream, catching failures.
+
+    Module-level (with :func:`functools.partial`) so the pool can
+    pickle it.  ``capture=False`` skips all telemetry plumbing and
+    costs one try/except over the bare worker call.
+    """
+    index, task = pair
+    if not capture:
+        try:
+            return _TaskOutcome(index, worker(task), [], None)
+        except Exception as err:
+            return _TaskOutcome(
+                index, None, [], repr(err), traceback.format_exc()
+            )
+    telemetry = Telemetry(stream=f"task{index:04d}")
+    try:
+        with using(telemetry):
+            with telemetry.span("batch.task", index=index):
+                result = worker(task)
+    except Exception as err:
+        return _TaskOutcome(
+            index, None, telemetry.collect(), repr(err), traceback.format_exc()
+        )
+    return _TaskOutcome(index, result, telemetry.collect(), None)
 
 
 def run_batch(
@@ -40,6 +111,7 @@ def run_batch(
     *,
     workers: int = 1,
     chunksize: int = 0,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[R]:
     """Run ``worker`` over ``tasks``, results in task order.
 
@@ -47,48 +119,125 @@ def run_batch(
     dispatched to a process pool in chunks (default: enough chunks for
     ~4 rounds per worker, amortizing pickling without starving the
     pool).  ``worker`` must be a module-level (picklable) callable.
+
+    ``telemetry`` defaults to the ambient sink; when active, each task
+    records into its own stream and the events are absorbed here in
+    submission order.  A raising worker aborts the batch with
+    :class:`BatchTaskError` naming the earliest failing task.
     """
+    tele = telemetry if telemetry is not None else current()
+    capture = tele.enabled
     task_list = list(tasks)
-    if workers <= 1 or len(task_list) <= 1:
-        return [worker(task) for task in task_list]
-    if chunksize <= 0:
-        chunksize = max(1, math.ceil(len(task_list) / (workers * 4)))
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(task_list))
-    ) as pool:
-        return list(pool.map(worker, task_list, chunksize=chunksize))
+    with tele.span(
+        "batch.run", tasks=len(task_list), workers=workers
+    ) as span:
+        if workers <= 1 or len(task_list) <= 1:
+            outcomes = [
+                _run_guarded(worker, capture, (i, task))
+                for i, task in enumerate(task_list)
+            ]
+        else:
+            if chunksize <= 0:
+                chunksize = max(
+                    1, math.ceil(len(task_list) / (workers * 4))
+                )
+            span.note(chunksize=chunksize)
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(task_list))
+            ) as pool:
+                outcomes = list(
+                    pool.map(
+                        partial(_run_guarded, worker, capture),
+                        list(enumerate(task_list)),
+                        chunksize=chunksize,
+                    )
+                )
+        results: List[R] = []
+        for outcome, task in zip(outcomes, task_list):
+            if capture:
+                tele.absorb(outcome.events)
+            if outcome.error is not None:
+                raise BatchTaskError(
+                    f"batch task #{outcome.index} failed: {outcome.error} "
+                    f"(task={task!r})\n--- worker traceback ---\n"
+                    f"{outcome.error_traceback}",
+                    index=outcome.index,
+                    task=task,
+                    worker_traceback=outcome.error_traceback,
+                )
+            results.append(outcome.result)
+        return results
+
+
+# ----------------------------------------------------------------------
+# metrics aggregation
+# ----------------------------------------------------------------------
+#: how :func:`merge_metrics` folds each :class:`Metrics` dataclass field.
+#: Every field MUST appear either here or in :data:`MERGE_EXEMPT_FIELDS`
+#: — the regression test iterates ``dataclasses.fields(Metrics)`` so a
+#: newly added counter cannot be silently dropped again (the fate of
+#: ``static_precheck_skips`` before this table existed).
+MERGE_RULES = {
+    "commits": "sum",
+    "gave_up": "sum",
+    "operations": "sum",
+    "static_precheck_skips": "sum",
+    "response_times": "extend",
+    # Horizons ADD: each part observed its components for its own
+    # end_time, so the merged capacity is components x sum(end_time).
+    # The old ``max`` here made ``availability`` divide N runs' summed
+    # downtime by a single run's horizon — reporting availability far
+    # below every part's own number.
+    "end_time": "sum",
+    "components": "max",
+    "aborts_by_reason": "sum_map",
+    "retries_by_reason": "sum_map",
+    "giveups_by_reason": "sum_map",
+    "faults_injected": "sum_map",
+    "downtime": "sum_map",
+}
+
+#: fields intentionally NOT merged (none today; add with a comment why)
+MERGE_EXEMPT_FIELDS: frozenset = frozenset()
 
 
 def merge_metrics(parts: Sequence[Metrics]) -> Metrics:
     """Fold per-run :class:`Metrics` into one aggregate.
 
     Counters and per-reason/per-kind maps are summed (order-independent
-    integer arithmetic); ``end_time`` and ``components`` take the max
-    (runs share a horizon, they do not extend each other); response
+    integer arithmetic); ``components`` takes the max (parts describe
+    the same topology); ``end_time`` horizons are summed, so derived
+    rates (``availability``, ``throughput``) become time-weighted means
+    of the parts — for equal-horizon parts, exactly the mean.  Response
     times are concatenated in the order given — pass ``parts`` in task
     order so derived float statistics are reproducible.
+
+    The fold is table-driven by :data:`MERGE_RULES`; a :class:`Metrics`
+    field missing from both the table and :data:`MERGE_EXEMPT_FIELDS`
+    raises rather than silently vanishing from sharded reports.
     """
+    for spec in dataclasses.fields(Metrics):
+        if spec.name not in MERGE_RULES and spec.name not in MERGE_EXEMPT_FIELDS:
+            raise ValueError(
+                f"Metrics.{spec.name} has no merge rule; add it to "
+                "MERGE_RULES or MERGE_EXEMPT_FIELDS in repro.analysis.batch"
+            )
     merged = Metrics()
     for part in parts:
-        merged.commits += part.commits
-        merged.gave_up += part.gave_up
-        merged.operations += part.operations
-        merged.response_times.extend(part.response_times)
-        merged.end_time = max(merged.end_time, part.end_time)
-        merged.components = max(merged.components, part.components)
-        for field in (
-            "aborts_by_reason",
-            "retries_by_reason",
-            "giveups_by_reason",
-            "faults_injected",
-        ):
-            ours = getattr(merged, field)
-            for key, count in getattr(part, field).items():
-                ours[key] = ours.get(key, 0) + count
-        for component, down in part.downtime.items():
-            merged.downtime[component] = (
-                merged.downtime.get(component, 0.0) + down
-            )
+        for name, rule in MERGE_RULES.items():
+            ours = getattr(merged, name)
+            theirs = getattr(part, name)
+            if rule == "sum":
+                setattr(merged, name, ours + theirs)
+            elif rule == "max":
+                setattr(merged, name, max(ours, theirs))
+            elif rule == "extend":
+                ours.extend(theirs)
+            elif rule == "sum_map":
+                for key, count in theirs.items():
+                    ours[key] = ours.get(key, 0) + count
+            else:  # pragma: no cover - table invariant
+                raise ValueError(f"unknown merge rule {rule!r}")
     return merged
 
 

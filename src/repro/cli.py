@@ -13,6 +13,14 @@ figures     walk the paper's Figures 1-4
 experiment  run one of the paper-artifact experiments (t1..t4, h1, p2, a1)
 compare     Def.-18 front equivalence of two saved executions
 report      run every experiment, write one Markdown report
+profile     render a telemetry JSONL file into per-phase time tables
+
+``check``, ``simulate``, ``chaos`` and ``experiment`` accept
+``--telemetry-out PATH``: the run executes under an ambient
+:mod:`repro.obs` sink and writes one schema-versioned JSONL event
+stream (spans, counters) to ``PATH``, deterministically ordered across
+worker counts.  ``profile PATH`` turns such a file back into tables
+(see docs/OBSERVABILITY.md).
 
 The CLI is a thin veneer over the library; every command maps onto the
 public API used by the examples and benchmarks.
@@ -63,6 +71,15 @@ def _add_workers_option(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="shard independent runs across N processes (1 = serial; "
         "output is bit-identical either way)",
+    )
+
+
+def _add_telemetry_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        help="write a schema-versioned JSONL telemetry stream (spans + "
+        "counters) for this run; render it with `composite-tx profile`",
     )
 
 
@@ -492,6 +509,30 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0 if equivalent else 3
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import read_records, validate_records
+    from repro.obs.profile import render_profile
+
+    records = read_records(args.file)
+    problems = validate_records(records)
+    if args.check:
+        for problem in problems:
+            print(f"telemetry: {problem}", file=sys.stderr)
+        print(
+            f"{args.file}: {len(records)} records, "
+            + ("INVALID" if problems else "schema OK")
+        )
+        return 1 if problems else 0
+    if problems:
+        print(
+            f"warning: {len(problems)} schema problem(s); "
+            "run `profile --check` for details",
+            file=sys.stderr,
+        )
+    print(render_profile(records, top=args.top))
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import build_report
 
@@ -536,6 +577,7 @@ def build_parser() -> argparse.ArgumentParser:
         "closure calls, bitset rows touched)",
     )
     _add_static_precheck_option(p)
+    _add_telemetry_option(p)
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser(
@@ -593,6 +635,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--skew", type=float, default=0.8)
     p.add_argument("-o", "--output")
     _add_static_precheck_option(p)
+    _add_telemetry_option(p)
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser(
@@ -630,6 +673,7 @@ def build_parser() -> argparse.ArgumentParser:
         "a non-Comp-C execution under faults",
     )
     _add_workers_option(p)
+    _add_telemetry_option(p)
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("figures", help="walk the paper's figures")
@@ -642,6 +686,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--trials", type=int, default=30)
     _add_workers_option(p)
+    _add_telemetry_option(p)
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser(
@@ -662,6 +707,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser(
+        "profile",
+        help="render a --telemetry-out JSONL file into per-phase time "
+        "tables and a slowest-spans list",
+    )
+    p.add_argument("file")
+    p.add_argument(
+        "--top", type=int, default=10, help="slowest spans to list"
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the stream against the event schema and exit "
+        "(status 1 on any violation)",
+    )
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
         "report", help="run every experiment, write a Markdown report"
     )
     p.add_argument("-o", "--output", default="REPORT.md")
@@ -679,7 +741,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    telemetry_out = getattr(args, "telemetry_out", None)
+    if not telemetry_out:
+        return args.func(args)
+    from repro.obs import Telemetry, using, write_jsonl
+
+    telemetry = Telemetry(stream="main")
+    with using(telemetry):
+        with telemetry.span("cli.command", command=args.command):
+            code = args.func(args)
+    write_jsonl(telemetry.collect(), telemetry_out)
+    print(f"telemetry written to {telemetry_out}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

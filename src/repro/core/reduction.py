@@ -22,7 +22,6 @@ succeed.  On failure the engine returns a
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
@@ -45,6 +44,7 @@ from repro.core.observed import (
 from repro.core.orders import Relation, closure_counters
 from repro.core.system import CompositeSystem
 from repro.exceptions import ReductionError
+from repro.obs.telemetry import Span, Telemetry, current
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core <- lint)
     from repro.lint.safety import StaticSafetyReport
@@ -187,14 +187,23 @@ class ReductionEngine:
         options: ObservedOrderOptions = ObservedOrderOptions(),
         *,
         incremental: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.system = system
         self.options = options
         self.incremental = incremental
+        #: explicit sink; ``None`` resolves to the ambient
+        #: :func:`repro.obs.telemetry.current` at each ``run()``
+        self.telemetry = telemetry
         #: (schedule, members) -> seed pairs; see ``schedule_seed_pairs``
         self._seed_cache: Dict[
             Tuple[str, Tuple[str, ...]], Tuple[Tuple[str, str], ...]
         ] = {}
+
+    # ------------------------------------------------------------------
+    def _tele(self) -> Telemetry:
+        """The engine's sink: explicit if given, else the ambient one."""
+        return self.telemetry if self.telemetry is not None else current()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -282,6 +291,7 @@ class ReductionEngine:
         """
         level = front.level + 1
         system = self.system
+        tele = self._tele()
         if _prepared is None:
             self._check_materialization(front, level)
             grouping = grouping_for_level(system, front.nodes, level)
@@ -290,6 +300,7 @@ class ReductionEngine:
             grouping, constraints = _prepared
         failure = find_isolation_failure(constraints, grouping)
         if failure is not None:
+            tele.count("reduce.isolation_reject")
             return failure
 
         new_nodes = grouping.new_nodes(front.nodes)
@@ -363,8 +374,10 @@ class ReductionEngine:
             input_weak=input_weak,
             input_strong=input_strong,
         )
+        tele.count("reduce.cc_check")
         cycle = candidate.consistency_violation()
         if cycle is not None:
+            tele.count("reduce.cc_reject")
             return ReductionFailure(
                 level=level, stage="cc", cycle=cycle, rejected_front=candidate
             )
@@ -385,20 +398,34 @@ class ReductionEngine:
                         )
 
     # ------------------------------------------------------------------
+    def _note_level(
+        self, span: Span, front: Front, before: Dict[str, int]
+    ) -> None:
+        """Attach the level's cost fields to its telemetry span (called
+        inside the span, before the exit event is emitted)."""
+        after = closure_counters()
+        span.note(
+            closure_calls=after["calls"] - before["calls"],
+            closure_rows=after["rows"] - before["rows"],
+            nodes=len(front.nodes),
+            observed_pairs=len(front.observed),
+        )
+
     def _record_level(
         self,
         result: ReductionResult,
         front: Front,
-        tick: float,
-        before: Dict[str, int],
+        span: Span,
     ) -> None:
-        after = closure_counters()
+        """Fill one :class:`LevelProfile` row from the finished span's
+        duration and the cost fields noted by :meth:`_note_level`."""
+        notes = span.notes
         result.profile.append(
             LevelProfile(
                 level=front.level,
-                seconds=time.perf_counter() - tick,
-                closure_calls=after["calls"] - before["calls"],
-                closure_rows=after["rows"] - before["rows"],
+                seconds=span.seconds,
+                closure_calls=int(notes.get("closure_calls", 0)),
+                closure_rows=int(notes.get("closure_rows", 0)),
                 nodes=len(front.nodes),
                 observed_pairs=len(front.observed),
             )
@@ -408,11 +435,10 @@ class ReductionEngine:
         self,
         result: ReductionResult,
         failure: ReductionFailure,
-        tick: float,
-        before: Dict[str, int],
+        span: Span,
     ) -> ReductionResult:
         if failure.rejected_front is not None:
-            self._record_level(result, failure.rejected_front, tick, before)
+            self._record_level(result, failure.rejected_front, span)
         result.failure = failure
         return result
 
@@ -435,19 +461,22 @@ class ReductionEngine:
         identical either way because the certificate is sound.
         """
         result = ReductionResult(system=self.system, options=self.options)
+        tele = self._tele()
         if static_precheck and stop_level is None:
             # Local import: lint builds on core, so core only reaches
             # back lazily and only when the feature is requested.
             from repro.lint.safety import prove_static_safety
 
-            tick = time.perf_counter()
-            certificate = prove_static_safety(self.system, self.options)
+            with tele.span("reduce.precheck") as span:
+                certificate = prove_static_safety(self.system, self.options)
+                span.note(certified=certificate.certified)
             result.static_certificate = certificate
             if certificate.certified:
+                tele.count("reduce.precheck_skip")
                 result.profile.append(
                     LevelProfile(
                         level=0,
-                        seconds=time.perf_counter() - tick,
+                        seconds=span.seconds,
                         closure_calls=0,
                         closure_rows=0,
                         nodes=len(self.system.leaves),
@@ -462,31 +491,45 @@ class ReductionEngine:
                 f"requested level {target} exceeds the system order "
                 f"{self.system.order}"
             )
-        tick = time.perf_counter()
-        before = closure_counters()
-        front = self.level0_front()
-        self._record_level(result, front, tick, before)
-        cycle = front.consistency_violation()
+        with tele.span("reduce.level", level=0) as span:
+            before = closure_counters()
+            front = self.level0_front()
+            tele.count("reduce.cc_check")
+            cycle = front.consistency_violation()
+            self._note_level(span, front, before)
+        self._record_level(result, front, span)
         if cycle is not None:
+            tele.count("reduce.cc_reject")
             result.failure = ReductionFailure(level=0, stage="cc", cycle=cycle)
             return result
         result.fronts.append(front)
         while front.level < target:
-            tick = time.perf_counter()
-            before = closure_counters()
-            self._check_materialization(front, front.level + 1)
-            grouping = grouping_for_level(
-                self.system, front.nodes, front.level + 1
-            )
-            constraints = calculation_constraints(self.system, front, grouping)
-            outcome = self.next_front(front, _prepared=(grouping, constraints))
+            with tele.span("reduce.level", level=front.level + 1) as span:
+                before = closure_counters()
+                self._check_materialization(front, front.level + 1)
+                grouping = grouping_for_level(
+                    self.system, front.nodes, front.level + 1
+                )
+                constraints = calculation_constraints(
+                    self.system, front, grouping
+                )
+                outcome = self.next_front(
+                    front, _prepared=(grouping, constraints)
+                )
+                shown = (
+                    outcome.rejected_front
+                    if isinstance(outcome, ReductionFailure)
+                    else outcome
+                )
+                if shown is not None:
+                    self._note_level(span, shown, before)
             if isinstance(outcome, ReductionFailure):
-                return self._record_failure(result, outcome, tick, before)
+                return self._record_failure(result, outcome, span)
             result.witnesses.append(
                 witness_sequence(constraints, grouping, front.nodes)
             )
             front = outcome
-            self._record_level(result, front, tick, before)
+            self._record_level(result, front, span)
             result.fronts.append(front)
         if target == self.system.order and result.succeeded:
             expected = set(self.system.roots)
@@ -504,8 +547,9 @@ def reduce_to_roots(
     *,
     incremental: bool = True,
     static_precheck: bool = False,
+    telemetry: Optional[Telemetry] = None,
 ) -> ReductionResult:
     """Run the full reduction (Theorem 1 decision procedure)."""
-    return ReductionEngine(system, options, incremental=incremental).run(
-        static_precheck=static_precheck
-    )
+    return ReductionEngine(
+        system, options, incremental=incremental, telemetry=telemetry
+    ).run(static_precheck=static_precheck)

@@ -116,6 +116,42 @@ class WorkloadError(CompositeTxError):
     """A workload generator received unsatisfiable parameters."""
 
 
+class TelemetryError(CompositeTxError):
+    """The telemetry layer was misused or fed an unreadable stream.
+
+    Raised for span-stack overflows (a programming error in
+    instrumented code) and for telemetry files whose schema version or
+    line format this build cannot read.  Never raised by normal
+    recording: a full event buffer *drops* (and counts) events instead
+    of failing the instrumented run.
+    """
+
+
+class BatchTaskError(CompositeTxError):
+    """A batch worker raised; carries which task died.
+
+    ``ProcessPoolExecutor.map`` re-raises worker exceptions with no
+    hint of which task produced them — for a (protocol, seed) grid that
+    loses exactly the information needed to reproduce the failure.
+    :attr:`task` is the failing task object, :attr:`index` its position
+    in submission order, and :attr:`worker_traceback` the formatted
+    traceback captured inside the worker process (the original
+    exception object itself may not survive pickling)."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        index: int,
+        task: object,
+        worker_traceback: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.index = index
+        self.task = task
+        self.worker_traceback = worker_traceback
+
+
 class ParseError(CompositeTxError):
     """The text format parser rejected its input.
 

@@ -43,6 +43,7 @@ from repro.core.observed import ObservedOrderOptions
 from repro.core.orders import Relation
 from repro.core.system import CompositeSystem
 from repro.lint.diagnostics import DiagnosticCollector
+from repro.obs.telemetry import current
 from repro.workloads.topologies import TopologySpec
 
 
@@ -320,10 +321,14 @@ def prove_static_safety(
                 "the static argument only covers conflict-gated seeds"
             ),
         )
-    witnesses: List[LevelWitness] = []
-    for level in range(system.order + 1):
-        witnesses.append(_check_level(system, level))
-    cycles = [w for w in witnesses if not w.forest]
+    tele = current()
+    with tele.span("lint.prove", levels=system.order + 1) as span:
+        witnesses: List[LevelWitness] = []
+        for level in range(system.order + 1):
+            tele.count("lint.level_checked")
+            witnesses.append(_check_level(system, level))
+        cycles = [w for w in witnesses if not w.forest]
+        span.note(certified=not cycles)
     if not cycles:
         return StaticSafetyReport(
             certified=True, reason=None, witnesses=tuple(witnesses)

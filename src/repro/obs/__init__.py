@@ -1,0 +1,58 @@
+"""Zero-dependency telemetry: structured tracing and run profiles.
+
+See :mod:`repro.obs.telemetry` for the recording API (spans, counters,
+the ambient context), :mod:`repro.obs.sink` for the JSONL event sink
+and its determinism contract, and :mod:`repro.obs.profile` for turning
+a telemetry file into per-phase time tables (``composite-tx profile``).
+
+``repro.obs.profile`` is intentionally *not* imported here: the
+instrumented core imports this package, and the profile renderer leans
+on the analysis layer, which imports the core — keeping it lazy breaks
+the cycle.
+"""
+
+from repro.obs.sink import (
+    ENV_FIELDS,
+    RECORD_KEYS,
+    WALL_KEYS,
+    canonical_dumps,
+    dumps_events,
+    merge_streams,
+    read_records,
+    sort_events,
+    to_record,
+    validate_records,
+    write_jsonl,
+)
+from repro.obs.telemetry import (
+    EVENT_KINDS,
+    NULL_TELEMETRY,
+    SCHEMA_VERSION,
+    Span,
+    Telemetry,
+    TelemetryEvent,
+    current,
+    using,
+)
+
+__all__ = [
+    "ENV_FIELDS",
+    "EVENT_KINDS",
+    "NULL_TELEMETRY",
+    "RECORD_KEYS",
+    "SCHEMA_VERSION",
+    "Span",
+    "Telemetry",
+    "TelemetryEvent",
+    "WALL_KEYS",
+    "canonical_dumps",
+    "current",
+    "dumps_events",
+    "merge_streams",
+    "read_records",
+    "sort_events",
+    "to_record",
+    "using",
+    "validate_records",
+    "write_jsonl",
+]

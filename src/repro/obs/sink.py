@@ -1,0 +1,230 @@
+"""JSONL event sink: serialization, stable merge, schema validation.
+
+One telemetry file is a sequence of schema-versioned JSON records, one
+per line, in the canonical ``(stream, seq)`` order.  Record shape::
+
+    {"v": 1, "stream": "task0003", "seq": 7, "kind": "exit",
+     "name": "reduce.level", "depth": 1, "dur_s": 0.0021,
+     "fields": {"level": 2, "nodes": 9}}
+
+``dur_s`` is the only wall-clock (hence non-deterministic) field;
+:func:`canonical_dumps` projects it away so two runs of the same seeded
+workload — serial or sharded — compare byte-for-byte.  Everything else
+(streams, sequence numbers, names, counter values, span fields) is a
+deterministic function of the workload.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.exceptions import TelemetryError
+from repro.obs.telemetry import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    TelemetryEvent,
+)
+
+#: record keys holding wall-clock measurements (dropped by canonicalize)
+WALL_KEYS = ("dur_s",)
+
+#: span fields describing the execution *environment* rather than the
+#: computation (worker count, pool chunking); also dropped by
+#: :func:`canonical_dumps` — ``--workers 1`` and ``--workers 4`` do the
+#: same work, and the canonical stream should say so.
+ENV_FIELDS = ("workers", "chunksize")
+
+#: exactly the keys every record must carry
+RECORD_KEYS = ("v", "stream", "seq", "kind", "name", "depth", "dur_s", "fields")
+
+
+def to_record(event: TelemetryEvent) -> Dict[str, Any]:
+    """The JSON-ready dict of one event."""
+    return {
+        "v": SCHEMA_VERSION,
+        "stream": event.stream,
+        "seq": event.seq,
+        "kind": event.kind,
+        "name": event.name,
+        "depth": event.depth,
+        "dur_s": event.dur_s,
+        "fields": dict(event.fields),
+    }
+
+
+def sort_events(events: Iterable[TelemetryEvent]) -> List[TelemetryEvent]:
+    """The canonical merge order: by ``(stream, seq)``."""
+    return sorted(events, key=lambda e: e.sort_key)
+
+
+def merge_streams(
+    *streams: Sequence[TelemetryEvent],
+) -> List[TelemetryEvent]:
+    """Merge per-worker event lists into one canonically ordered list."""
+    merged: List[TelemetryEvent] = []
+    for stream in streams:
+        merged.extend(stream)
+    return sort_events(merged)
+
+
+def dumps_events(events: Iterable[TelemetryEvent]) -> str:
+    """Render events as canonical JSONL (sorted, compact, stable keys)."""
+    lines = [
+        json.dumps(to_record(event), sort_keys=True, separators=(",", ":"))
+        for event in sort_events(events)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(events: Iterable[TelemetryEvent], path: str) -> None:
+    """Write the canonical JSONL stream to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_events(events))
+
+
+def read_records(path: str) -> List[Dict[str, Any]]:
+    """Load a telemetry file back as raw records (version-checked)."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise TelemetryError(
+                    f"{path}:{lineno}: not valid JSON ({err})"
+                ) from err
+            if not isinstance(record, dict):
+                raise TelemetryError(
+                    f"{path}:{lineno}: expected a JSON object"
+                )
+            version = record.get("v")
+            if version != SCHEMA_VERSION:
+                raise TelemetryError(
+                    f"{path}:{lineno}: telemetry schema version {version!r} "
+                    f"(this build reads version {SCHEMA_VERSION})"
+                )
+            records.append(record)
+    return records
+
+
+def canonical_dumps(records: Sequence[Dict[str, Any]]) -> str:
+    """Render records with wall-clock keys and environment fields
+    removed, canonically sorted.
+
+    Two seeded runs of the same workload produce byte-identical
+    canonical dumps regardless of worker count — the determinism
+    contract the CLI tests pin.
+    """
+    cleaned = []
+    for record in records:
+        kept = {k: v for k, v in record.items() if k not in WALL_KEYS}
+        fields = kept.get("fields")
+        if isinstance(fields, dict):
+            kept["fields"] = {
+                k: v for k, v in fields.items() if k not in ENV_FIELDS
+            }
+        cleaned.append(kept)
+    cleaned.sort(key=lambda r: (str(r.get("stream", "")), int(r.get("seq", 0))))
+    lines = [
+        json.dumps(record, sort_keys=True, separators=(",", ":"))
+        for record in cleaned
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# schema validation (the CI smoke gate and the property tests)
+# ----------------------------------------------------------------------
+def validate_records(records: Sequence[Dict[str, Any]]) -> List[str]:
+    """Check a record list against the schema; return human-readable
+    problems (empty list == valid).
+
+    Beyond per-record shape, validates the two stream invariants:
+    sequence numbers strictly increase within a stream, and span
+    ``enter``/``exit`` events form a balanced, properly-nested bracket
+    sequence (skipped for streams that reported dropped events — a
+    truncated stream may legitimately lose exits).
+    """
+    problems: List[str] = []
+    last_seq: Dict[str, int] = {}
+    stacks: Dict[str, List[str]] = {}
+    truncated: Dict[str, bool] = {}
+    for i, record in enumerate(records):
+        where = f"record {i}"
+        missing = [k for k in RECORD_KEYS if k not in record]
+        extra = [k for k in record if k not in RECORD_KEYS]
+        if missing:
+            problems.append(f"{where}: missing keys {missing}")
+            continue
+        if extra:
+            problems.append(f"{where}: unknown keys {extra}")
+        if record["v"] != SCHEMA_VERSION:
+            problems.append(f"{where}: schema version {record['v']!r}")
+        if record["kind"] not in EVENT_KINDS:
+            problems.append(f"{where}: unknown kind {record['kind']!r}")
+            continue
+        if not isinstance(record["stream"], str) or not isinstance(
+            record["name"], str
+        ):
+            problems.append(f"{where}: stream/name must be strings")
+            continue
+        if not isinstance(record["seq"], int) or not isinstance(
+            record["depth"], int
+        ):
+            problems.append(f"{where}: seq/depth must be integers")
+            continue
+        if record["dur_s"] is not None and not isinstance(
+            record["dur_s"], (int, float)
+        ):
+            problems.append(f"{where}: dur_s must be a number or null")
+        if not isinstance(record["fields"], dict):
+            problems.append(f"{where}: fields must be an object")
+            continue
+        stream = record["stream"]
+        seq = record["seq"]
+        if stream in last_seq and seq <= last_seq[stream]:
+            problems.append(
+                f"{where}: seq {seq} not increasing in stream {stream!r}"
+            )
+        last_seq[stream] = seq
+        if record["kind"] == "counter" and "value" not in record["fields"]:
+            problems.append(f"{where}: counter without a value field")
+        if record["kind"] == "meta" and record["name"] == "telemetry.dropped":
+            truncated[stream] = True
+        stack = stacks.setdefault(stream, [])
+        if record["kind"] == "enter":
+            if record["depth"] != len(stack):
+                problems.append(
+                    f"{where}: enter depth {record['depth']} != stack "
+                    f"depth {len(stack)} in stream {stream!r}"
+                )
+            stack.append(record["name"])
+        elif record["kind"] == "exit":
+            if not stack:
+                if not truncated.get(stream):
+                    problems.append(
+                        f"{where}: exit {record['name']!r} without a "
+                        f"matching enter in stream {stream!r}"
+                    )
+                continue
+            opened = stack.pop()
+            if opened != record["name"]:
+                problems.append(
+                    f"{where}: exit {record['name']!r} does not match "
+                    f"open span {opened!r} in stream {stream!r}"
+                )
+            if record["depth"] != len(stack):
+                problems.append(
+                    f"{where}: exit depth {record['depth']} != stack "
+                    f"depth {len(stack)} in stream {stream!r}"
+                )
+    for stream, stack in stacks.items():
+        if stack and not truncated.get(stream):
+            problems.append(
+                f"stream {stream!r}: spans never exited: {stack}"
+            )
+    return problems

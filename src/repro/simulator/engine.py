@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.orders import Relation
 from repro.exceptions import SimulationError
+from repro.obs.telemetry import Telemetry, current
 from repro.schedulers import PROTOCOLS, ComponentScheduler, make_scheduler
 from repro.schedulers.base import Decision
 from repro.schedulers.composite_cc import (
@@ -208,8 +209,16 @@ class SimulationResult:
 class Simulation:
     """One seeded simulation run."""
 
-    def __init__(self, config: SimulationConfig) -> None:
+    def __init__(
+        self,
+        config: SimulationConfig,
+        *,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self.config = config
+        # Resolved once: the ambient sink active at construction time
+        # (the batch runner activates a per-task stream around workers).
+        self.telemetry = telemetry if telemetry is not None else current()
         self.rng = random.Random(config.seed)
         self.queue = EventQueue()
         self.metrics = Metrics()
@@ -257,6 +266,23 @@ class Simulation:
     # public API
     # ------------------------------------------------------------------
     def run(self, *, max_events: int = 2_000_000) -> SimulationResult:
+        with self.telemetry.span(
+            "sim.run",
+            seed=self.config.seed,
+            protocol=self.config.protocol
+            if isinstance(self.config.protocol, str)
+            else repr(self.config.protocol),
+            topology=self.config.topology.name,
+        ) as span:
+            result = self._run(max_events=max_events)
+            span.note(
+                events=result.metrics.operations,
+                commits=result.metrics.commits,
+                end_time=result.metrics.end_time,
+            )
+        return result
+
+    def _run(self, *, max_events: int) -> SimulationResult:
         cfg = self.config
         if self.faults is not None:
             # Crash windows become queue events; degradation windows
@@ -295,6 +321,8 @@ class Simulation:
         if self.faults is not None:
             self.metrics.faults_injected = dict(self.faults.counts)
             self.metrics.downtime = self.faults.downtime(self.queue.now)
+            for kind, hits in sorted(self.metrics.faults_injected.items()):
+                self.telemetry.count("sim.fault", value=hits, kind=kind)
         assembled = (
             self.recorder.assemble()
             if self.recorder.committed_count
@@ -345,6 +373,7 @@ class Simulation:
     # attempt lifecycle
     # ------------------------------------------------------------------
     def _start_attempt(self, root: _Root) -> None:
+        self.telemetry.count("sim.attempt")
         root.attempt += 1
         root.epoch += 1
         root.call_counter = 0
@@ -620,6 +649,7 @@ class Simulation:
             self.schedulers[component].commit(txn)
             touched.append(component)
         self.recorder.commit_root(root.name)
+        self.telemetry.count("sim.commit")
         self.metrics.commits += 1
         self.metrics.response_times.append(self.queue.now - root.start_time)
         self._after_completion(root.client)
@@ -630,6 +660,7 @@ class Simulation:
         if root.done:
             return
         root.epoch += 1  # invalidate every in-flight event of the attempt
+        self.telemetry.count("sim.abort", reason=reason)
         self.metrics.record_abort(reason)
         root.abort_reasons[reason] = root.abort_reasons.get(reason, 0) + 1
         for handle in root.timeouts.values():
@@ -651,9 +682,11 @@ class Simulation:
             root.abort_reasons[reason],
         ):
             root.done = True
+            self.telemetry.count("sim.giveup", reason=reason)
             self.metrics.record_giveup(reason)
             self._after_completion(root.client)
         else:
+            self.telemetry.count("sim.retry", reason=reason)
             self.metrics.record_retry(reason)
             delay = self.retry_policy.delay(
                 root.attempt, self.rng, root.last_delay
@@ -718,6 +751,11 @@ class Simulation:
             self._schedule_completion(root, frame, step)
 
 
-def simulate(config: SimulationConfig, **run_kwargs) -> SimulationResult:
+def simulate(
+    config: SimulationConfig,
+    *,
+    telemetry: Optional[Telemetry] = None,
+    **run_kwargs,
+) -> SimulationResult:
     """Convenience: build and run one simulation."""
-    return Simulation(config).run(**run_kwargs)
+    return Simulation(config, telemetry=telemetry).run(**run_kwargs)

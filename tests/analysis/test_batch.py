@@ -1,12 +1,21 @@
 """Tests for the parallel batch runner and its determinism contract."""
 
+import dataclasses
+
 import pytest
 
-from repro.analysis.batch import chaos_grid, merge_metrics, run_batch
+from repro.analysis.batch import (
+    MERGE_EXEMPT_FIELDS,
+    MERGE_RULES,
+    chaos_grid,
+    merge_metrics,
+    run_batch,
+)
 from repro.analysis.protocols import (
     evaluate_protocol,
     evaluate_protocol_under_faults,
 )
+from repro.exceptions import BatchTaskError
 from repro.simulator.metrics import Metrics
 from repro.workloads.topologies import stack_topology
 
@@ -36,11 +45,30 @@ class TestRunBatch:
     def test_empty(self):
         assert run_batch([], square, workers=4) == []
 
-    def test_worker_exception_propagates(self):
-        with pytest.raises(ValueError):
+    def test_worker_exception_carries_task(self):
+        """A raising worker surfaces as BatchTaskError naming the
+        failing task — ProcessPoolExecutor.map alone loses which cell
+        died."""
+        with pytest.raises(BatchTaskError) as excinfo:
             run_batch([1, 2, 3], fail_on_three)
-        with pytest.raises(ValueError):
+        assert excinfo.value.index == 2
+        assert excinfo.value.task == 3
+        assert "ValueError" in str(excinfo.value)
+        assert "boom" in excinfo.value.worker_traceback
+
+        with pytest.raises(BatchTaskError) as excinfo:
             run_batch([1, 2, 3, 4], fail_on_three, workers=2)
+        assert excinfo.value.index == 2
+        assert excinfo.value.task == 3
+        assert "boom" in excinfo.value.worker_traceback
+
+    def test_earliest_failure_wins(self):
+        """With several failing cells, the error is deterministic: the
+        earliest failing task in submission order."""
+        with pytest.raises(BatchTaskError) as excinfo:
+            run_batch([3, 1, 3, 3], fail_on_three, workers=2)
+        assert excinfo.value.index == 0
+        assert excinfo.value.task == 3
 
     def test_explicit_chunksize(self):
         assert run_batch(range(10), square, workers=2, chunksize=3) == [
@@ -67,12 +95,14 @@ class TestMergeMetrics:
         )
         return metrics
 
-    def test_counters_sum_and_maxima(self):
+    def test_counters_sum_and_horizons_add(self):
         merged = merge_metrics([self._sample(2, 4.0, 3), self._sample(5, 2.0, 1)])
         assert merged.commits == 7
         assert merged.gave_up == 2
         assert merged.operations == 70
-        assert merged.end_time == 4.0
+        # Horizons add: each part observed its components for its own
+        # end_time, so the merged capacity window is their sum.
+        assert merged.end_time == 6.0
         assert merged.components == 3
         assert merged.aborts_by_reason == {"conflict": 4}
         assert merged.giveups_by_reason == {"deadlock": 2}
@@ -86,6 +116,40 @@ class TestMergeMetrics:
         assert merged.commits == part.commits
         assert merged.response_times == part.response_times
         assert merged.aborts_by_reason == part.aborts_by_reason
+        assert merged.end_time == part.end_time
+        assert merged.availability == part.availability
+
+    def test_every_metrics_field_has_a_merge_rule(self):
+        """Regression for the dropped-counter bug: every Metrics
+        dataclass field must be merged or explicitly exempted, so a
+        newly added counter cannot silently vanish from sharded reports
+        (the fate of ``static_precheck_skips`` before MERGE_RULES)."""
+        names = {spec.name for spec in dataclasses.fields(Metrics)}
+        covered = set(MERGE_RULES) | set(MERGE_EXEMPT_FIELDS)
+        assert names <= covered, f"unmerged fields: {sorted(names - covered)}"
+        # and no stale rules for fields that no longer exist
+        assert set(MERGE_RULES) <= names
+
+    def test_static_precheck_skips_survive_merge(self):
+        a = Metrics(static_precheck_skips=3)
+        b = Metrics(static_precheck_skips=4)
+        assert merge_metrics([a, b]).static_precheck_skips == 7
+
+    def test_merged_availability_is_mean_of_equal_horizon_parts(self):
+        """Regression for the skewed-availability bug: summing downtime
+        while taking max(end_time) divided two runs' downtime by one
+        run's horizon.  With summed horizons, merging equal-horizon
+        parts yields exactly the mean of their availabilities."""
+        a = Metrics(end_time=10.0, components=2, downtime={"c1": 2.0})
+        b = Metrics(end_time=10.0, components=2, downtime={"c1": 6.0})
+        merged = merge_metrics([a, b])
+        assert merged.end_time == 20.0
+        assert merged.availability == pytest.approx(
+            (a.availability + b.availability) / 2
+        )
+        # sanity: the old max-horizon semantics would have reported
+        # 1 - 8/(2*10) = 0.6, below BOTH parts' own numbers
+        assert merged.availability == pytest.approx(0.8)
 
 
 class TestParallelDeterminism:

@@ -1,0 +1,100 @@
+"""Tests for run profiles: aggregation and the rendered report."""
+
+import itertools
+
+from repro.obs import Telemetry, sort_events, to_record
+from repro.obs.profile import build_profile, render_profile
+
+
+def make_records():
+    """A small synthetic run with known durations (1 ms clock ticks)."""
+    counter = itertools.count()
+    tele = Telemetry(clock=lambda: next(counter) * 0.001)
+    with tele.span("reduce.precheck") as span:
+        span.note(certified=False)
+    for level in range(2):
+        with tele.span("reduce.level", level=level) as span:
+            span.note(
+                closure_calls=1,
+                closure_rows=10 + level,
+                nodes=9 - level,
+                observed_pairs=40,
+            )
+    tele.count("reduce.cc_check", 2)
+    tele.count("sim.abort", 3, reason="timeout")
+    return [to_record(e) for e in sort_events(tele.collect())]
+
+
+class TestBuildProfile:
+    def test_phase_aggregation(self):
+        profile = build_profile(make_records())
+        stats = {p.name: p for p in profile.phases}
+        assert set(stats) == {"reduce.precheck", "reduce.level"}
+        level = stats["reduce.level"]
+        assert level.count == 2
+        # each span spends exactly one 1 ms clock tick
+        assert level.total_s == 0.002
+        assert level.mean_s == 0.001
+        assert level.max_s == 0.001
+        # sorted by descending total time
+        assert profile.phases[0].name == "reduce.level"
+
+    def test_reduce_levels_extracted_in_order(self):
+        profile = build_profile(make_records())
+        levels = [r["fields"]["level"] for r in profile.reduce_levels]
+        assert levels == [0, 1]
+        assert profile.reduce_levels[0]["fields"]["closure_rows"] == 10
+
+    def test_counters_folded(self):
+        profile = build_profile(make_records())
+        assert profile.counters == [
+            ("reduce.cc_check", {}, 2.0),
+            ("sim.abort", {"reason": "timeout"}, 3.0),
+        ]
+
+    def test_top_limits_slowest(self):
+        profile = build_profile(make_records(), top=1)
+        assert len(profile.slowest) == 1
+        assert profile.slowest[0]["kind"] == "exit"
+
+    def test_stream_and_record_counts(self):
+        records = make_records()
+        profile = build_profile(records)
+        assert profile.records == len(records)
+        assert profile.streams == 1
+
+    def test_empty_records(self):
+        profile = build_profile([])
+        assert profile.phases == []
+        assert profile.slowest == []
+        assert profile.counters == []
+
+
+class TestRenderProfile:
+    def test_report_sections(self):
+        report = render_profile(make_records())
+        assert "per-phase time (inclusive)" in report
+        assert "reduction levels" in report
+        assert "slowest spans" in report
+        assert "counters" in report
+        assert "reduce.level" in report
+        assert "reason=timeout" in report
+
+    def test_per_level_rows(self):
+        report = render_profile(make_records())
+        level_lines = [
+            line for line in report.splitlines() if "main" in line
+        ]
+        # one reduction-levels row per level, showing the noted fields
+        assert any("10" in line and "40" in line for line in level_lines)
+
+    def test_no_reduction_table_without_level_spans(self):
+        counter = itertools.count()
+        tele = Telemetry(clock=lambda: next(counter) * 0.001)
+        with tele.span("sim.run"):
+            pass
+        report = render_profile(
+            [to_record(e) for e in sort_events(tele.collect())]
+        )
+        assert "reduction levels" not in report
+        assert "sim.run" in report

@@ -1,0 +1,280 @@
+"""Tests for the telemetry core: spans, counters, sinks, determinism."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TelemetryError
+from repro.obs import (
+    NULL_TELEMETRY,
+    SCHEMA_VERSION,
+    Telemetry,
+    canonical_dumps,
+    current,
+    dumps_events,
+    merge_streams,
+    read_records,
+    sort_events,
+    to_record,
+    using,
+    validate_records,
+    write_jsonl,
+)
+
+
+def fixed_clock():
+    """A deterministic monotonic clock: 0.0, 0.001, 0.002, ..."""
+    counter = itertools.count()
+    return lambda: next(counter) * 0.001
+
+
+def records_of(telemetry):
+    return [to_record(e) for e in sort_events(telemetry.collect())]
+
+
+class TestSpans:
+    def test_enter_exit_pair(self):
+        tele = Telemetry(clock=fixed_clock())
+        with tele.span("phase", level=2):
+            pass
+        records = records_of(tele)
+        assert [r["kind"] for r in records] == ["enter", "exit"]
+        assert records[0]["name"] == records[1]["name"] == "phase"
+        assert records[0]["fields"] == {"level": 2}
+        assert records[0]["dur_s"] is None
+        assert records[1]["dur_s"] == pytest.approx(0.001)
+
+    def test_nesting_depths(self):
+        tele = Telemetry(clock=fixed_clock())
+        with tele.span("outer"):
+            with tele.span("inner"):
+                pass
+        depths = [(r["kind"], r["name"], r["depth"]) for r in records_of(tele)]
+        assert depths == [
+            ("enter", "outer", 0),
+            ("enter", "inner", 1),
+            ("exit", "inner", 1),
+            ("exit", "outer", 0),
+        ]
+
+    def test_exit_emitted_on_exception(self):
+        tele = Telemetry(clock=fixed_clock())
+        with pytest.raises(RuntimeError):
+            with tele.span("doomed"):
+                raise RuntimeError("boom")
+        assert [r["kind"] for r in records_of(tele)] == ["enter", "exit"]
+        assert validate_records(records_of(tele)) == []
+
+    def test_notes_land_on_exit_only(self):
+        tele = Telemetry(clock=fixed_clock())
+        with tele.span("work", level=1) as span:
+            span.note(nodes=9, certified=True)
+        enter, exit_ = records_of(tele)
+        assert enter["fields"] == {"level": 1}
+        assert exit_["fields"] == {"certified": True, "level": 1, "nodes": 9}
+
+    def test_non_scalar_fields_coerced_to_repr(self):
+        tele = Telemetry(clock=fixed_clock())
+        with tele.span("work", payload=[1, 2]):
+            pass
+        assert records_of(tele)[0]["fields"] == {"payload": "[1, 2]"}
+
+    def test_max_depth_raises(self):
+        tele = Telemetry(max_depth=2, clock=fixed_clock())
+        with pytest.raises(TelemetryError):
+            with tele.span("a"):
+                with tele.span("b"):
+                    with tele.span("c"):
+                        pass
+
+    def test_disabled_is_noop_but_still_times(self):
+        tele = Telemetry(enabled=False, clock=fixed_clock())
+        with tele.span("work") as span:
+            pass
+        tele.count("n")
+        assert tele.collect() == []
+        assert span.seconds == pytest.approx(0.001)
+
+
+class TestCounters:
+    def test_accumulate_and_flush_sorted(self):
+        tele = Telemetry(clock=fixed_clock())
+        tele.count("sim.abort", reason="timeout")
+        tele.count("sim.abort", reason="crash")
+        tele.count("sim.abort", 2, reason="timeout")
+        tele.count("reduce.cc_check")
+        records = records_of(tele)
+        assert [(r["name"], r["fields"]) for r in records] == [
+            ("reduce.cc_check", {"value": 1}),
+            ("sim.abort", {"reason": "crash", "value": 1}),
+            ("sim.abort", {"reason": "timeout", "value": 3}),
+        ]
+        assert all(r["kind"] == "counter" for r in records)
+
+    def test_collect_is_idempotent(self):
+        tele = Telemetry(clock=fixed_clock())
+        tele.count("n")
+        with tele.span("s"):
+            pass
+        assert records_of(tele) == records_of(tele)
+
+
+class TestBoundedBuffer:
+    def test_overflow_drops_and_reports(self):
+        tele = Telemetry(max_events=3, clock=fixed_clock())
+        for i in range(5):
+            with tele.span("s", i=i):
+                pass
+        records = records_of(tele)
+        metas = [r for r in records if r["kind"] == "meta"]
+        assert len(metas) == 1
+        assert metas[0]["name"] == "telemetry.dropped"
+        assert metas[0]["fields"] == {"dropped": tele.dropped}
+        assert tele.dropped == 7  # 10 span events, 3 kept
+        # a truncated stream is still schema-valid (nesting exempted)
+        assert validate_records(records) == []
+
+
+class TestAmbientContext:
+    def test_default_is_null(self):
+        assert current() is NULL_TELEMETRY
+        assert not current().enabled
+
+    def test_using_scopes_the_sink(self):
+        tele = Telemetry(clock=fixed_clock())
+        with using(tele):
+            assert current() is tele
+            current().count("hit")
+        assert current() is NULL_TELEMETRY
+        assert [r["name"] for r in records_of(tele)] == ["hit"]
+
+
+class TestSink:
+    def test_merge_streams_canonical_order(self):
+        a = Telemetry(stream="task0001", clock=fixed_clock())
+        b = Telemetry(stream="task0000", clock=fixed_clock())
+        with a.span("work"):
+            pass
+        with b.span("work"):
+            pass
+        merged = merge_streams(a.collect(), b.collect())
+        keys = [(e.stream, e.seq) for e in merged]
+        assert keys == sorted(keys)
+        assert keys[0][0] == "task0000"
+
+    def test_dumps_byte_identical_with_injected_clock(self):
+        def run():
+            tele = Telemetry(clock=fixed_clock())
+            with tele.span("reduce.precheck"):
+                pass
+            for level in range(3):
+                with tele.span("reduce.level", level=level) as span:
+                    span.note(nodes=9 - level)
+            tele.count("reduce.cc_check", 3)
+            return dumps_events(tele.collect())
+
+        assert run() == run()
+
+    def test_roundtrip_and_validate(self, tmp_path):
+        tele = Telemetry(clock=fixed_clock())
+        with tele.span("outer"):
+            with tele.span("inner", level=1):
+                pass
+        tele.count("n", reason="x")
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(tele.collect(), path)
+        records = read_records(path)
+        assert validate_records(records) == []
+        assert records == records_of(tele)
+
+    def test_read_rejects_foreign_schema_version(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"v": 999, "stream": "main", "seq": 0}\n')
+        with pytest.raises(TelemetryError):
+            read_records(str(path))
+
+    def test_read_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(TelemetryError):
+            read_records(str(path))
+
+    def test_canonical_dumps_drops_wall_and_env(self):
+        tele = Telemetry(clock=fixed_clock())
+        with tele.span("batch.run", tasks=4, workers=4) as span:
+            span.note(chunksize=2)
+        text = canonical_dumps(records_of(tele))
+        assert "dur_s" not in text
+        assert "workers" not in text
+        assert "chunksize" not in text
+        assert '"tasks":4' in text
+
+    def test_validate_flags_broken_streams(self):
+        base = {"v": SCHEMA_VERSION, "stream": "main", "depth": 0,
+                "dur_s": None, "fields": {}}
+        unbalanced = [dict(base, seq=0, kind="exit", name="x")]
+        assert validate_records(unbalanced)
+        stale_seq = [
+            dict(base, seq=5, kind="enter", name="x"),
+            dict(base, seq=5, kind="exit", name="x"),
+        ]
+        assert any("seq" in p for p in validate_records(stale_seq))
+        bad_kind = [dict(base, seq=0, kind="zap", name="x")]
+        assert any("kind" in p for p in validate_records(bad_kind))
+        missing = [{"v": SCHEMA_VERSION}]
+        assert any("missing" in p for p in validate_records(missing))
+        countless = [dict(base, seq=0, kind="counter", name="x")]
+        assert any("value" in p for p in validate_records(countless))
+
+
+# ----------------------------------------------------------------------
+# property: span enter/exit records always nest (satellite 4)
+# ----------------------------------------------------------------------
+span_names = st.sampled_from(["a", "b", "reduce.level", "sim.run"])
+
+span_trees = st.recursive(
+    st.tuples(span_names, st.just([])),
+    lambda children: st.tuples(span_names, st.lists(children, max_size=3)),
+    max_leaves=10,
+)
+
+
+def _run_tree(tele, tree, counter_every):
+    name, children = tree
+    with tele.span(name, width=len(children)):
+        if counter_every:
+            tele.count("visited", span=name)
+        for child in children:
+            _run_tree(tele, child, counter_every)
+
+
+@settings(max_examples=60, deadline=None)
+@given(trees=st.lists(span_trees, max_size=4), counters=st.booleans())
+def test_spans_always_nest(trees, counters):
+    """Whatever shape of nested spans (and interleaved counters) a run
+    produces, the serialized stream passes the bracket-nesting and
+    seq-monotonicity validation."""
+    tele = Telemetry(clock=fixed_clock())
+    for tree in trees:
+        _run_tree(tele, tree, counters)
+    records = records_of(tele)
+    assert validate_records(records) == []
+    enters = sum(1 for r in records if r["kind"] == "enter")
+    exits = sum(1 for r in records if r["kind"] == "exit")
+    assert enters == exits
+
+
+@settings(max_examples=30, deadline=None)
+@given(trees=st.lists(span_trees, max_size=3))
+def test_identical_programs_dump_identically(trees):
+    """Same span program + same injected clock => byte-identical JSONL."""
+
+    def run():
+        tele = Telemetry(clock=fixed_clock())
+        for tree in trees:
+            _run_tree(tele, tree, True)
+        return dumps_events(tele.collect())
+
+    assert run() == run()
