@@ -20,9 +20,23 @@ from repro.analysis.hierarchy import (
     total_violations,
 )
 from repro.analysis.batch import (
+    BatchReport,
+    ChaosGridReport,
     chaos_grid,
+    chaos_grid_report,
     merge_metrics,
     run_batch,
+    run_batch_report,
+)
+from repro.analysis.checkpoint import (
+    CheckpointSession,
+    checkpointing,
+    read_checkpoint,
+)
+from repro.analysis.supervise import (
+    BatchSupervisor,
+    QuarantinedTask,
+    QuarantineReport,
 )
 from repro.analysis.protocols import (
     ChaosPoint,
@@ -71,11 +85,21 @@ __all__ = [
     "judge",
     "run_hierarchy_experiment",
     "total_violations",
+    "BatchReport",
+    "BatchSupervisor",
+    "ChaosGridReport",
     "ChaosPoint",
     "ChaosRun",
+    "CheckpointSession",
     "ProtocolPoint",
+    "QuarantineReport",
+    "QuarantinedTask",
     "chaos_grid",
+    "chaos_grid_report",
     "chaos_run",
+    "checkpointing",
+    "read_checkpoint",
+    "run_batch_report",
     "evaluate_protocol",
     "evaluate_protocol_under_faults",
     "merge_chaos_runs",

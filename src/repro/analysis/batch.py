@@ -24,11 +24,28 @@ canonical ``(stream, seq)`` order — so a ``--workers 4`` telemetry file
 is a stable merge of the per-worker streams, identical (modulo wall
 durations) to the serial file.
 
+And it extends to recovery: because merging is a pure function of the
+submission-ordered result list, a run resumed from a checkpoint (see
+:mod:`repro.analysis.checkpoint`) merges restored and fresh results in
+the same order an uninterrupted run would have, producing
+byte-identical metrics and canonical telemetry.
+
+Resilience
+----------
+:func:`run_batch_report` is the supervised entry point (see
+:mod:`repro.analysis.supervise`): per-task wall-clock timeouts enforced
+inside the worker, per-task retry with seeded jittered backoff,
+parent-side hung-worker detection with pool replacement, and — unless
+``fail_fast`` — quarantine of tasks that exhaust their attempts, so one
+poisoned grid cell no longer destroys every completed result.
+
 Failure reporting: a raising worker surfaces as
 :class:`repro.exceptions.BatchTaskError` carrying the failing task and
 its submission index — ``ProcessPoolExecutor.map`` alone loses which
 grid cell died.  The error is raised for the *earliest* failing task in
-submission order, another determinism guarantee.
+submission order, another determinism guarantee, and carries the
+completed partial results (``completed``/``missing``) so callers can
+salvage the rest of the grid.
 
 Workers are module-level functions taking one picklable task tuple —
 a requirement of the ``fork``/``spawn`` process pool, and the reason
@@ -41,12 +58,14 @@ from __future__ import annotations
 import dataclasses
 import math
 import traceback
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from functools import partial
 from typing import (
     Any,
     Callable,
+    Dict,
     Iterable,
     List,
     Optional,
@@ -55,7 +74,22 @@ from typing import (
     TypeVar,
 )
 
-from repro.exceptions import BatchTaskError
+from repro.analysis.checkpoint import (
+    CheckpointSection,
+    ambient_session,
+    batch_fingerprint,
+)
+from repro.analysis.supervise import (
+    REASON_CRASH,
+    REASON_EXCEPTION,
+    REASON_HUNG,
+    REASON_TIMEOUT,
+    BatchSupervisor,
+    QuarantinedTask,
+    QuarantineReport,
+    time_limit,
+)
+from repro.exceptions import BatchTaskError, TaskTimeoutError
 from repro.obs import Telemetry, TelemetryEvent, current, using
 from repro.simulator.metrics import Metrics
 
@@ -72,37 +106,366 @@ class _TaskOutcome:
     events: List[TelemetryEvent]
     error: Optional[str]  # repr of the exception, None on success
     error_traceback: str = ""
+    reason: str = REASON_EXCEPTION  # quarantine reason when error is set
+    attempts: int = 1
+
+
+def _attempt(
+    worker: Callable[[T], R],
+    capture: bool,
+    timeout: Optional[float],
+    index: int,
+    task: T,
+) -> _TaskOutcome:
+    """One guarded attempt at one task (its own telemetry stream, its
+    own wall-clock budget)."""
+    if not capture:
+        try:
+            with time_limit(timeout):
+                return _TaskOutcome(index, worker(task), [], None)
+        except Exception as err:
+            return _TaskOutcome(
+                index,
+                None,
+                [],
+                repr(err),
+                traceback.format_exc(),
+                reason=REASON_TIMEOUT
+                if isinstance(err, TaskTimeoutError)
+                else REASON_EXCEPTION,
+            )
+    telemetry = Telemetry(stream=f"task{index:04d}")
+    try:
+        with time_limit(timeout):
+            with using(telemetry):
+                with telemetry.span("batch.task", index=index):
+                    result = worker(task)
+    except Exception as err:
+        return _TaskOutcome(
+            index,
+            None,
+            telemetry.collect(),
+            repr(err),
+            traceback.format_exc(),
+            reason=REASON_TIMEOUT
+            if isinstance(err, TaskTimeoutError)
+            else REASON_EXCEPTION,
+        )
+    return _TaskOutcome(index, result, telemetry.collect(), None)
 
 
 def _run_guarded(
     worker: Callable[[T], R],
     capture: bool,
+    supervisor: Optional[BatchSupervisor],
     pair: Tuple[int, T],
 ) -> _TaskOutcome:
-    """Run one task under its own telemetry stream, catching failures.
+    """Run one task under supervision, catching failures.
 
     Module-level (with :func:`functools.partial`) so the pool can
-    pickle it.  ``capture=False`` skips all telemetry plumbing and
-    costs one try/except over the bare worker call.
+    pickle it.  Without a supervisor this is exactly one unguarded
+    attempt — the historical behaviour.  With one, the attempt runs
+    under the per-task wall-clock alarm and is retried up to
+    ``max_attempts`` times with delays drawn from the retry policy and
+    the per-task seeded jitter stream (see the seeding contract in
+    :mod:`repro.analysis.supervise`).
+
+    A *fresh* telemetry stream is recorded per attempt and only the
+    final attempt's events ship, so a task that eventually succeeds
+    emits exactly the events of a task that succeeded first try —
+    which is what keeps retried runs canonically identical to clean
+    ones.
     """
     index, task = pair
-    if not capture:
-        try:
-            return _TaskOutcome(index, worker(task), [], None)
-        except Exception as err:
-            return _TaskOutcome(
-                index, None, [], repr(err), traceback.format_exc()
-            )
-    telemetry = Telemetry(stream=f"task{index:04d}")
-    try:
-        with using(telemetry):
-            with telemetry.span("batch.task", index=index):
-                result = worker(task)
-    except Exception as err:
-        return _TaskOutcome(
-            index, None, telemetry.collect(), repr(err), traceback.format_exc()
+    if supervisor is None:
+        return _attempt(worker, capture, None, index, task)
+    policy = supervisor.resolve_policy()
+    rng = supervisor.task_rng(index)
+    reason_counts: Dict[str, int] = {}
+    last_delay = 0.0
+    attempt = 0
+    while True:
+        attempt += 1
+        outcome = _attempt(
+            worker, capture, supervisor.task_timeout, index, task
         )
-    return _TaskOutcome(index, result, telemetry.collect(), None)
+        outcome.attempts = attempt
+        if outcome.error is None:
+            return outcome
+        reason = outcome.reason
+        reason_counts[reason] = reason_counts.get(reason, 0) + 1
+        if not policy.should_retry(
+            attempt,
+            supervisor.max_attempts,
+            reason,
+            reason_counts[reason],
+        ):
+            return outcome
+        last_delay = policy.delay(attempt, rng, last_delay)
+        supervisor.sleep(last_delay)
+
+
+@dataclass
+class BatchReport:
+    """Everything one supervised batch produced.
+
+    ``results`` is submission-ordered with ``None`` holes at
+    quarantined indices; ``completed`` maps index -> result for the
+    successes; ``quarantine`` describes every task the supervisor gave
+    up on.
+    """
+
+    results: List[Any]
+    quarantine: QuarantineReport = field(default_factory=QuarantineReport)
+    completed: Dict[int, Any] = field(default_factory=dict)
+
+    @property
+    def missing(self) -> Tuple[int, ...]:
+        return tuple(
+            i for i, result in enumerate(self.results)
+            if i not in self.completed
+        )
+
+
+def _parallel_outcomes(
+    worker: Callable[[T], R],
+    capture: bool,
+    supervisor: Optional[BatchSupervisor],
+    todo: Sequence[Tuple[int, T]],
+    max_workers: int,
+    section: Optional[CheckpointSection],
+) -> Dict[int, _TaskOutcome]:
+    """Submit-based parallel execution with hung-worker replacement.
+
+    Tasks are submitted individually; when no future completes within
+    the supervisor's hang deadline, the still-running tasks are
+    declared hung (their workers are beyond the reach of the in-worker
+    alarm), the wedged pool is abandoned, and a replacement pool takes
+    over the queued work.  A worker process that *dies* (OOM kill,
+    segfault) breaks the whole pool; the batch recovers the same way —
+    the task observed failing is recorded, everything else resubmits
+    to a fresh pool.
+    """
+    hang = supervisor.effective_hang_timeout() if supervisor else None
+    outcomes: Dict[int, _TaskOutcome] = {}
+    guarded = partial(_run_guarded, worker, capture, supervisor)
+    pool = ProcessPoolExecutor(max_workers=min(max_workers, len(todo)))
+    pending: Dict[Any, Tuple[int, T]] = {
+        pool.submit(guarded, (index, task)): (index, task)
+        for index, task in todo
+    }
+
+    def _replace_pool(requeue: List[Tuple[int, T]]) -> None:
+        nonlocal pool, pending
+        pool.shutdown(wait=False)
+        # best-effort kill of the abandoned workers: a hung process
+        # would otherwise linger (and block interpreter exit) until its
+        # task finished on its own
+        for process in dict(getattr(pool, "_processes", None) or {}).values():
+            try:
+                process.terminate()
+            except Exception:
+                pass
+        pool = ProcessPoolExecutor(
+            max_workers=min(max_workers, max(1, len(requeue)))
+        )
+        pending = {
+            pool.submit(guarded, (index, task)): (index, task)
+            for index, task in requeue
+        }
+
+    try:
+        while pending:
+            done, not_done = wait(
+                set(pending), timeout=hang, return_when=FIRST_COMPLETED
+            )
+            if done:
+                broken: List[Tuple[int, T]] = []
+                broken_error: Optional[BaseException] = None
+                for future in done:
+                    index, task = pending.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool as err:
+                        broken.append((index, task))
+                        broken_error = err
+                        continue
+                    outcomes[index] = outcome
+                    if section is not None and outcome.error is None:
+                        section.record(index, outcome.result, outcome.events)
+                if broken:
+                    # A dead worker process (OOM kill, segfault) poisons
+                    # EVERY in-flight future with BrokenProcessPool; we
+                    # cannot tell which task actually killed it, so the
+                    # earliest broken task takes the blame (quarantined
+                    # as a crash) and everything else moves to a
+                    # replacement pool.  A genuinely poisonous task
+                    # re-breaks the next pool and is blamed eventually.
+                    broken.sort()
+                    index, task = broken[0]
+                    outcomes[index] = _TaskOutcome(
+                        index,
+                        None,
+                        [],
+                        f"worker process died: {broken_error!r}",
+                        reason=REASON_CRASH,
+                    )
+                    _replace_pool(
+                        broken[1:] + [pending.pop(f) for f in list(pending)]
+                    )
+                continue
+            # stalled: nothing completed within the hang deadline.
+            # Queued (cancellable) futures move to a fresh pool; the
+            # ones actually running are hung beyond recovery.
+            requeue: List[Tuple[int, T]] = []
+            for future in list(not_done):
+                index, task = pending.pop(future)
+                if future.cancel():
+                    requeue.append((index, task))
+                else:
+                    outcomes[index] = _TaskOutcome(
+                        index,
+                        None,
+                        [],
+                        f"worker hung: no result within {hang:g}s "
+                        "(task abandoned, worker replaced)",
+                        reason=REASON_HUNG,
+                    )
+            _replace_pool(requeue)
+    finally:
+        pool.shutdown(wait=False)
+    return outcomes
+
+
+def run_batch_report(
+    tasks: Iterable[T],
+    worker: Callable[[T], R],
+    *,
+    workers: int = 1,
+    chunksize: int = 0,
+    telemetry: Optional[Telemetry] = None,
+    supervisor: Optional[BatchSupervisor] = None,
+) -> BatchReport:
+    """Run ``worker`` over ``tasks`` under supervision; never raises
+    for task failures unless fail-fast semantics apply.
+
+    ``workers <= 1`` runs serially in-process; otherwise tasks are
+    dispatched to a process pool.  Without a ``supervisor`` the
+    parallel path uses chunked ``map`` (the historical fast path) and
+    the first failing task aborts the batch.  With one, tasks are
+    individually supervised (timeout, retry, hang detection) and
+    failures are quarantined unless ``supervisor.fail_fast``.
+
+    When an ambient :func:`repro.analysis.checkpoint.checkpointing`
+    session is active, this call claims its next checkpoint section:
+    completed tasks are recorded (results + telemetry events) as they
+    finish, and previously completed or quarantined tasks are restored
+    instead of re-run — quarantined tasks are *not* retried on resume;
+    rerun without resuming to retry them.
+
+    ``telemetry`` defaults to the ambient sink; when active, each task
+    records into its own stream and the events are absorbed here in
+    submission order.
+    """
+    tele = telemetry if telemetry is not None else current()
+    capture = tele.enabled
+    task_list = list(tasks)
+    session = ambient_session()
+    section: Optional[CheckpointSection] = None
+    if session is not None:
+        section = session.section(
+            batch_fingerprint(worker, task_list), len(task_list)
+        )
+    restored: Dict[int, Tuple[Any, List[TelemetryEvent]]] = (
+        dict(section.completed) if section is not None else {}
+    )
+    restored_quarantine: List[QuarantinedTask] = (
+        list(section.quarantined) if section is not None else []
+    )
+    skip = set(restored) | {q.index for q in restored_quarantine}
+    with tele.span(
+        "batch.run", tasks=len(task_list), workers=workers
+    ) as span:
+        todo = [
+            (i, task) for i, task in enumerate(task_list) if i not in skip
+        ]
+        outcomes: Dict[int, _TaskOutcome] = {}
+        if workers <= 1 or len(todo) <= 1:
+            for i, task in todo:
+                outcome = _run_guarded(worker, capture, supervisor, (i, task))
+                outcomes[i] = outcome
+                if section is not None and outcome.error is None:
+                    section.record(i, outcome.result, outcome.events)
+        elif supervisor is None and section is None:
+            # the historical chunked-map fast path, byte for byte
+            if chunksize <= 0:
+                chunksize = max(1, math.ceil(len(todo) / (workers * 4)))
+            span.note(chunksize=chunksize)
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(todo))
+            ) as pool:
+                for outcome in pool.map(
+                    partial(_run_guarded, worker, capture, None),
+                    todo,
+                    chunksize=chunksize,
+                ):
+                    outcomes[outcome.index] = outcome
+        else:
+            outcomes = _parallel_outcomes(
+                worker, capture, supervisor, todo, workers, section
+            )
+
+        # fold everything back in submission order
+        report = BatchReport(results=[])
+        for entry in restored_quarantine:
+            report.quarantine.add(entry)
+        first_failure: Optional[Tuple[_TaskOutcome, T]] = None
+        for i, task in enumerate(task_list):
+            if i in restored:
+                result, events = restored[i]
+                if capture:
+                    tele.absorb(events)
+                report.results.append(result)
+                report.completed[i] = result
+                continue
+            if i not in outcomes:  # restored quarantine entry
+                report.results.append(None)
+                continue
+            outcome = outcomes[i]
+            if capture:
+                tele.absorb(outcome.events)
+            if outcome.error is None:
+                report.results.append(outcome.result)
+                report.completed[i] = outcome.result
+                continue
+            report.results.append(None)
+            entry = QuarantinedTask(
+                index=i,
+                task_repr=repr(task),
+                reason=outcome.reason,
+                error=outcome.error,
+                traceback=outcome.error_traceback,
+                attempts=outcome.attempts,
+            )
+            report.quarantine.add(entry)
+            if section is not None:
+                section.record_quarantine(entry)
+            if first_failure is None:
+                first_failure = (outcome, task)
+        fail_fast = supervisor.fail_fast if supervisor is not None else True
+        if first_failure is not None and fail_fast:
+            outcome, task = first_failure
+            raise BatchTaskError(
+                f"batch task #{outcome.index} failed: {outcome.error} "
+                f"(task={task!r})\n--- worker traceback ---\n"
+                f"{outcome.error_traceback}",
+                index=outcome.index,
+                task=task,
+                worker_traceback=outcome.error_traceback,
+                completed=report.completed,
+                missing=report.missing,
+            )
+        return report
 
 
 def run_batch(
@@ -112,61 +475,27 @@ def run_batch(
     workers: int = 1,
     chunksize: int = 0,
     telemetry: Optional[Telemetry] = None,
+    supervisor: Optional[BatchSupervisor] = None,
 ) -> List[R]:
     """Run ``worker`` over ``tasks``, results in task order.
 
-    ``workers <= 1`` runs serially in-process.  Otherwise the tasks are
-    dispatched to a process pool in chunks (default: enough chunks for
-    ~4 rounds per worker, amortizing pickling without starving the
-    pool).  ``worker`` must be a module-level (picklable) callable.
-
-    ``telemetry`` defaults to the ambient sink; when active, each task
-    records into its own stream and the events are absorbed here in
-    submission order.  A raising worker aborts the batch with
-    :class:`BatchTaskError` naming the earliest failing task.
+    The thin unsupervised veneer over :func:`run_batch_report`: a
+    raising worker aborts the batch with :class:`BatchTaskError`
+    naming the earliest failing task in submission order — with the
+    completed partial results attached (``err.completed`` /
+    ``err.missing``) so callers can salvage them.  Pass a
+    :class:`~repro.analysis.supervise.BatchSupervisor` with
+    ``fail_fast=False`` to quarantine failures instead; quarantined
+    positions then come back as ``None``.
     """
-    tele = telemetry if telemetry is not None else current()
-    capture = tele.enabled
-    task_list = list(tasks)
-    with tele.span(
-        "batch.run", tasks=len(task_list), workers=workers
-    ) as span:
-        if workers <= 1 or len(task_list) <= 1:
-            outcomes = [
-                _run_guarded(worker, capture, (i, task))
-                for i, task in enumerate(task_list)
-            ]
-        else:
-            if chunksize <= 0:
-                chunksize = max(
-                    1, math.ceil(len(task_list) / (workers * 4))
-                )
-            span.note(chunksize=chunksize)
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(task_list))
-            ) as pool:
-                outcomes = list(
-                    pool.map(
-                        partial(_run_guarded, worker, capture),
-                        list(enumerate(task_list)),
-                        chunksize=chunksize,
-                    )
-                )
-        results: List[R] = []
-        for outcome, task in zip(outcomes, task_list):
-            if capture:
-                tele.absorb(outcome.events)
-            if outcome.error is not None:
-                raise BatchTaskError(
-                    f"batch task #{outcome.index} failed: {outcome.error} "
-                    f"(task={task!r})\n--- worker traceback ---\n"
-                    f"{outcome.error_traceback}",
-                    index=outcome.index,
-                    task=task,
-                    worker_traceback=outcome.error_traceback,
-                )
-            results.append(outcome.result)
-        return results
+    return run_batch_report(
+        tasks,
+        worker,
+        workers=workers,
+        chunksize=chunksize,
+        telemetry=telemetry,
+        supervisor=supervisor,
+    ).results
 
 
 # ----------------------------------------------------------------------
@@ -244,19 +573,36 @@ def merge_metrics(parts: Sequence[Metrics]) -> Metrics:
 # ----------------------------------------------------------------------
 # grid builders (the CLI-facing convenience layer)
 # ----------------------------------------------------------------------
-def chaos_grid(
+@dataclass
+class ChaosGridReport:
+    """A chaos grid's merged points plus its quarantine report.
+
+    ``points`` aggregates whatever cells completed (a quarantined
+    (protocol, seed) cell is simply absent from its protocol's
+    average — the per-point ``runs`` says how many survived);
+    ``quarantine`` names every cell that did not.
+    """
+
+    points: List[Any]
+    quarantine: QuarantineReport = field(default_factory=QuarantineReport)
+
+
+def chaos_grid_report(
     topology,
     protocols: Sequence[str],
     seeds: Sequence[int],
     *,
     workers: int = 1,
+    supervisor: Optional[BatchSupervisor] = None,
     **kw,
-):
-    """The (protocol x seed) chaos grid, one :class:`ChaosPoint` per
-    protocol.  Equivalent to calling
+) -> ChaosGridReport:
+    """The (protocol x seed) chaos grid with supervision, one
+    :class:`ChaosPoint` per protocol.  Equivalent to calling
     :func:`repro.analysis.protocols.evaluate_protocol_under_faults`
     per protocol, but with every (protocol, seed) cell an independent
-    task — so ``workers`` parallelizes across protocols *and* seeds."""
+    task — so ``workers`` parallelizes across protocols *and* seeds,
+    the supervisor's quarantine isolates poisoned cells, and an
+    ambient checkpoint session makes the whole grid resumable."""
     from repro.analysis.protocols import chaos_run_task, merge_chaos_runs
 
     tasks = [
@@ -264,19 +610,47 @@ def chaos_grid(
         for protocol in protocols
         for seed in seeds
     ]
-    runs = run_batch(tasks, chaos_run_task, workers=workers)
+    batch = run_batch_report(
+        tasks, chaos_run_task, workers=workers, supervisor=supervisor
+    )
     points = []
     per = len(seeds)
     for i, protocol in enumerate(protocols):
+        runs = [
+            run
+            for run in batch.results[i * per:(i + 1) * per]
+            if run is not None
+        ]
         points.append(
             merge_chaos_runs(
                 topology.name,
                 protocol,
                 kw.get("intensity", 1.0),
-                runs[i * per:(i + 1) * per],
+                runs,
             )
         )
-    return points
+    return ChaosGridReport(points=points, quarantine=batch.quarantine)
+
+
+def chaos_grid(
+    topology,
+    protocols: Sequence[str],
+    seeds: Sequence[int],
+    *,
+    workers: int = 1,
+    supervisor: Optional[BatchSupervisor] = None,
+    **kw,
+):
+    """The (protocol x seed) chaos grid — points only; see
+    :func:`chaos_grid_report` for the quarantine report."""
+    return chaos_grid_report(
+        topology,
+        protocols,
+        seeds,
+        workers=workers,
+        supervisor=supervisor,
+        **kw,
+    ).points
 
 
 def ablation_task(task: Tuple) -> bool:

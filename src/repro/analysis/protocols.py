@@ -19,7 +19,7 @@ from repro.core.correctness import is_composite_correct
 from repro.simulator.engine import Simulation, SimulationConfig, simulate
 from repro.simulator.faults import random_fault_plan
 from repro.simulator.programs import ProgramConfig
-from repro.simulator.retry import RetryPolicy
+from repro.simulator.retry import RetryPolicy, make_retry_policy
 from repro.workloads.topologies import TopologySpec
 
 
@@ -216,14 +216,29 @@ def chaos_run(
     clients: int = 3,
     transactions_per_client: int = 5,
     program: Optional[ProgramConfig] = None,
-    retry_policy: Union[str, RetryPolicy] = "linear",
+    retry_policy: Union[str, RetryPolicy] = "exponential",
     max_attempts: int = 10,
     horizon: float = 120.0,
     **plan_kw,
 ) -> ChaosRun:
     """One seeded chaos run of ``protocol`` under a random fault plan,
-    with the committed execution re-checked by the Comp-C reduction."""
+    with the committed execution re-checked by the Comp-C reduction.
+
+    A *named* retry policy is instantiated **seeded** with this cell's
+    ``seed`` (the seeding contract of :mod:`repro.simulator.retry`):
+    retry jitter then depends only on the cell, not on how many other
+    cells shared the worker's engine stream, so a grid sharded or
+    resumed at any granularity reproduces the same runs.  Pass a
+    :class:`RetryPolicy` instance to control seeding yourself.  The
+    default is seeded full-jitter exponential backoff — under fault
+    storms it spreads synchronized retry herds apart where the legacy
+    linear policy let them collide (``repro chaos --retry-policy
+    linear`` restores the old behaviour).
+    """
     program = program or ProgramConfig(items_per_component=4, item_skew=0.8)
+    if isinstance(retry_policy, str):
+        # base=3.0 mirrors SimulationConfig.retry_backoff's default
+        retry_policy = make_retry_policy(retry_policy, base=3.0, seed=seed)
     plan = random_fault_plan(
         topology.schedule_names,
         seed=seed,
@@ -340,7 +355,7 @@ def evaluate_protocol_under_faults(
     clients: int = 3,
     transactions_per_client: int = 5,
     program: Optional[ProgramConfig] = None,
-    retry_policy: Union[str, RetryPolicy] = "linear",
+    retry_policy: Union[str, RetryPolicy] = "exponential",
     max_attempts: int = 10,
     horizon: float = 120.0,
     workers: int = 1,

@@ -14,6 +14,7 @@ experiment  run one of the paper-artifact experiments (t1..t4, h1, p2, a1)
 compare     Def.-18 front equivalence of two saved executions
 report      run every experiment, write one Markdown report
 profile     render a telemetry JSONL file into per-phase time tables
+resume      continue a killed run from its --checkpoint-out file
 
 ``check``, ``simulate``, ``chaos`` and ``experiment`` accept
 ``--telemetry-out PATH``: the run executes under an ambient
@@ -21,6 +22,17 @@ profile     render a telemetry JSONL file into per-phase time tables
 stream (spans, counters) to ``PATH``, deterministically ordered across
 worker counts.  ``profile PATH`` turns such a file back into tables
 (see docs/OBSERVABILITY.md).
+
+``chaos`` and ``experiment`` accept ``--checkpoint-out PATH``: the run
+periodically writes an atomic, schema-versioned checkpoint of every
+completed grid cell.  A killed run continues with ``composite-tx
+resume PATH`` (or ``--resume-from PATH`` on the original command),
+re-running only what had not finished — the resumed run's metrics and
+canonical telemetry are byte-identical to an uninterrupted run's.
+``chaos`` additionally supervises its cells (``--task-timeout``,
+``--task-retries``) and quarantines cells that keep failing instead of
+aborting the grid; ``--fail-fast`` restores the abort-everything
+behaviour.  See docs/RESILIENCE.md.
 
 The CLI is a thin veneer over the library; every command maps onto the
 public API used by the examples and benchmarks.
@@ -80,6 +92,24 @@ def _add_telemetry_option(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write a schema-versioned JSONL telemetry stream (spans + "
         "counters) for this run; render it with `composite-tx profile`",
+    )
+
+
+def _add_checkpoint_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint-out",
+        metavar="PATH",
+        help="periodically write an atomic checkpoint of completed "
+        "grid cells; a killed run continues with `composite-tx resume "
+        "PATH`",
+    )
+    parser.add_argument(
+        "--resume-from",
+        metavar="PATH",
+        help="resume from a checkpoint written by --checkpoint-out: "
+        "completed cells are restored, only unfinished work re-runs "
+        "(quarantined cells are NOT retried; rerun without this flag "
+        "to retry them)",
     )
 
 
@@ -265,20 +295,29 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.analysis.batch import chaos_grid
+    from repro.analysis.batch import chaos_grid_report
+    from repro.analysis.supervise import BatchSupervisor
 
     spec = _topology(args)
     protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
-    points = chaos_grid(
+    supervisor = BatchSupervisor(
+        task_timeout=args.task_timeout,
+        max_attempts=max(1, args.task_retries),
+        retry_seed=args.seed,
+        fail_fast=args.fail_fast,
+    )
+    grid = chaos_grid_report(
         spec,
         protocols,
         tuple(range(args.seed, args.seed + args.runs)),
         workers=args.workers,
+        supervisor=supervisor,
         intensity=args.intensity,
         clients=args.clients,
         transactions_per_client=args.transactions,
         retry_policy=args.retry_policy,
     )
+    points = grid.points
     print(
         format_table(
             [
@@ -313,11 +352,14 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         f"run(s) per protocol on {spec.name}; faults degrade liveness, "
         f"never safety: composite-aware protocols stay Comp-C."
     )
+    if grid.quarantine:
+        print()
+        print(grid.quarantine.render())
     if args.strict:
         for point in points:
             if point.protocol in ("cc", "s2pl") and point.comp_c_rate < 1.0:
                 return 2
-    return 0
+    return 1 if grid.quarantine else 0
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -510,12 +552,16 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    from repro.obs import read_records, validate_records
+    from repro.obs import salvage_records, validate_records
     from repro.obs.profile import render_profile
 
-    records = read_records(args.file)
+    records, torn = salvage_records(args.file)
+    if torn is not None:
+        print(f"warning: {torn.describe()}", file=sys.stderr)
     problems = validate_records(records)
     if args.check:
+        if torn is not None:
+            problems = [torn.describe()] + problems
         for problem in problems:
             print(f"telemetry: {problem}", file=sys.stderr)
         print(
@@ -531,6 +577,37 @@ def cmd_profile(args: argparse.Namespace) -> int:
         )
     print(render_profile(records, top=args.top))
     return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    from repro.analysis.checkpoint import read_checkpoint
+
+    document = read_checkpoint(args.checkpoint)
+    stored = [str(a) for a in document.get("argv", [])]
+    if not stored:
+        raise SystemExit(
+            f"{args.checkpoint}: no command line recorded; resume with "
+            "the original command plus --resume-from"
+        )
+    # re-dispatch the recorded command with --resume-from appended
+    # (dropping any stale --resume-from a doubly-resumed run recorded)
+    forwarded: List[str] = []
+    skip_next = False
+    for argument in stored:
+        if skip_next:
+            skip_next = False
+            continue
+        if argument == "--resume-from":
+            skip_next = True
+            continue
+        if argument.startswith("--resume-from="):
+            continue
+        forwarded.append(argument)
+    print(
+        "resuming: repro " + " ".join(forwarded + ["--resume-from", args.checkpoint]),
+        file=sys.stderr,
+    )
+    return main(forwarded + ["--resume-from", args.checkpoint])
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -664,7 +741,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--retry-policy",
         choices=("linear", "exponential", "decorrelated-jitter"),
-        default="linear",
+        default="exponential",
+        help="in-simulation retry pacing; named policies are seeded "
+        "per cell for reproducible sharded runs (default: seeded "
+        "full-jitter exponential; 'linear' restores the legacy pacing)",
     )
     p.add_argument(
         "--strict",
@@ -672,8 +752,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 2 when a composite-aware protocol (cc/s2pl) commits "
         "a non-Comp-C execution under faults",
     )
+    p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget enforced inside the worker; "
+        "a cell over budget is retried, then quarantined",
+    )
+    p.add_argument(
+        "--task-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="attempts per grid cell (seeded jittered backoff between "
+        "them) before it is quarantined (default: 1)",
+    )
+    p.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort the whole grid on the first cell that exhausts its "
+        "attempts, instead of quarantining it and finishing the rest",
+    )
     _add_workers_option(p)
     _add_telemetry_option(p)
+    _add_checkpoint_options(p)
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("figures", help="walk the paper's figures")
@@ -687,6 +790,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=30)
     _add_workers_option(p)
     _add_telemetry_option(p)
+    _add_checkpoint_options(p)
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser(
@@ -724,6 +828,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
+        "resume",
+        help="continue a killed chaos/experiment run from its "
+        "--checkpoint-out file (re-dispatches the recorded command "
+        "with --resume-from)",
+    )
+    p.add_argument("checkpoint")
+    p.set_defaults(func=cmd_resume)
+
+    p = sub.add_parser(
         "report", help="run every experiment, write a Markdown report"
     )
     p.add_argument("-o", "--output", default="REPORT.md")
@@ -740,19 +853,40 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
-    telemetry_out = getattr(args, "telemetry_out", None)
-    if not telemetry_out:
-        return args.func(args)
-    from repro.obs import Telemetry, using, write_jsonl
+    raw_argv = list(sys.argv[1:]) if argv is None else list(argv)
+    args = parser.parse_args(raw_argv)
 
-    telemetry = Telemetry(stream="main")
-    with using(telemetry):
-        with telemetry.span("cli.command", command=args.command):
-            code = args.func(args)
-    write_jsonl(telemetry.collect(), telemetry_out)
-    print(f"telemetry written to {telemetry_out}", file=sys.stderr)
-    return code
+    def dispatch() -> int:
+        telemetry_out = getattr(args, "telemetry_out", None)
+        if not telemetry_out:
+            return args.func(args)
+        from repro.obs import Telemetry, using, write_jsonl
+
+        telemetry = Telemetry(stream="main")
+        with using(telemetry):
+            with telemetry.span("cli.command", command=args.command):
+                code = args.func(args)
+        write_jsonl(telemetry.collect(), telemetry_out)
+        print(f"telemetry written to {telemetry_out}", file=sys.stderr)
+        return code
+
+    checkpoint_out = getattr(args, "checkpoint_out", None)
+    resume_from = getattr(args, "resume_from", None)
+    if not checkpoint_out and not resume_from:
+        return dispatch()
+    from repro.analysis.checkpoint import CheckpointSession, checkpointing
+
+    if resume_from:
+        # keep checkpointing into the same file (or --checkpoint-out's
+        # override) so a resumed run can itself be killed and resumed;
+        # the recorded argv stays the original command's
+        session = CheckpointSession.resume(resume_from)
+        if checkpoint_out:
+            session.path = checkpoint_out
+    else:
+        session = CheckpointSession(checkpoint_out, argv=raw_argv)
+    with checkpointing(session):
+        return dispatch()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -136,7 +136,14 @@ class BatchTaskError(CompositeTxError):
     :attr:`task` is the failing task object, :attr:`index` its position
     in submission order, and :attr:`worker_traceback` the formatted
     traceback captured inside the worker process (the original
-    exception object itself may not survive pickling)."""
+    exception object itself may not survive pickling).
+
+    The work that *did* finish is not thrown away: :attr:`completed`
+    maps submission index -> result for every task that succeeded
+    before the batch aborted, and :attr:`missing` lists the submission
+    indices with no result (the failing task plus any other failed or
+    never-delivered tasks), so callers can salvage the partial grid.
+    """
 
     def __init__(
         self,
@@ -145,21 +152,58 @@ class BatchTaskError(CompositeTxError):
         index: int,
         task: object,
         worker_traceback: str = "",
+        completed: "dict[int, object] | None" = None,
+        missing: "tuple[int, ...] | list[int] | None" = None,
     ) -> None:
         super().__init__(message)
         self.index = index
         self.task = task
         self.worker_traceback = worker_traceback
+        self.completed: "dict[int, object]" = dict(completed or {})
+        self.missing: "tuple[int, ...]" = tuple(missing or ())
+
+
+class TaskTimeoutError(CompositeTxError):
+    """A supervised batch task exceeded its per-task wall-clock budget.
+
+    Raised *inside* the worker by the supervision alarm (see
+    :mod:`repro.analysis.supervise`); the supervisor converts it into a
+    retry or a quarantine entry with reason ``"timeout"``.
+    """
+
+
+class CheckpointError(CompositeTxError):
+    """A batch checkpoint could not be written, read, or resumed.
+
+    Raised for unreadable/torn checkpoint documents, for schema
+    versions this build does not understand, and for resume attempts
+    whose grid fingerprint does not match the checkpoint (resuming a
+    checkpoint into a *different* grid would silently mis-merge
+    results).
+    """
 
 
 class ParseError(CompositeTxError):
     """The text format parser rejected its input.
 
     :attr:`line` is the 1-based line number of the offending line when
-    known, otherwise ``None``.
+    known, otherwise ``None``.  Parse failures detected by the hardened
+    document loaders additionally carry :attr:`offset` (the byte offset
+    of the defect) and :attr:`diagnostic` (the lint-style
+    ``CTX4xx`` :class:`repro.lint.diagnostics.Diagnostic`, so tooling
+    can match the stable code instead of the message text).
     """
 
-    def __init__(self, message: str, line: "int | None" = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        line: "int | None" = None,
+        *,
+        offset: "int | None" = None,
+        diagnostic: "object | None" = None,
+    ) -> None:
         location = f" (line {line})" if line is not None else ""
         super().__init__(f"{message}{location}")
         self.line = line
+        self.offset = offset
+        self.diagnostic = diagnostic

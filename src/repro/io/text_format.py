@@ -11,12 +11,13 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 from repro.core.builder import SystemBuilder
 from repro.core.system import CompositeSystem
 from repro.criteria.registry import RecordedExecution
 from repro.exceptions import ParseError
+from repro.io.jsondoc import parse_json_document
 
 FORMAT_VERSION = 1
 
@@ -57,17 +58,18 @@ def dumps(
     return json.dumps(document, indent=indent, sort_keys=True)
 
 
-def loads(text: str) -> RecordedExecution:
+def loads(text: str, *, source: Optional[str] = None) -> RecordedExecution:
     """Parse JSON text back into a recorded execution.
 
     Systems saved without an ``executions`` section come back with an
-    empty execution map.
+    empty execution map.  ``source`` names the originating file in
+    parse diagnostics; text that is not valid JSON, truncated, or not
+    an object at the root raises :class:`ParseError` carrying a
+    ``CTX401``/``CTX402``/``CTX403`` diagnostic with file, line, and
+    byte offset (see :mod:`repro.io.jsondoc`).
     """
-    try:
-        document = json.loads(text)
-    except json.JSONDecodeError as err:
-        raise ParseError(f"invalid JSON: {err}", line=err.lineno) from None
-    if not isinstance(document, dict) or "schedules" not in document:
+    document = parse_json_document(text, source=source, expect_object=True)
+    if "schedules" not in document:
         raise ParseError("document has no 'schedules' section")
     version = document.get("version", FORMAT_VERSION)
     if version != FORMAT_VERSION:
@@ -89,4 +91,4 @@ def save(
 
 
 def load(path: Union[str, Path]) -> RecordedExecution:
-    return loads(Path(path).read_text())
+    return loads(Path(path).read_text(), source=str(path))

@@ -26,6 +26,7 @@ from repro.core.front import Front
 from repro.core.orders import Relation
 from repro.core.reduction import LevelProfile, ReductionResult
 from repro.exceptions import ParseError
+from repro.io.jsondoc import parse_json_document
 
 TRACE_VERSION = 1
 
@@ -178,12 +179,20 @@ def trace_from_dict(document: Dict) -> ReductionTrace:
     )
 
 
-def loads_trace(text: str) -> ReductionTrace:
-    return trace_from_dict(json.loads(text))
+def loads_trace(text: str, *, source: Optional[str] = None) -> ReductionTrace:
+    """Parse trace JSON with the hardened document loader: invalid,
+    truncated, or non-object text raises :class:`ParseError` carrying
+    a ``CTX4xx`` diagnostic (file, line, byte offset) instead of a raw
+    ``json.JSONDecodeError``."""
+    return trace_from_dict(
+        parse_json_document(text, source=source, expect_object=True)
+    )
 
 
 def load_trace(path: Union[str, Path]) -> ReductionTrace:
-    return loads_trace(Path(path).read_text(encoding="utf-8"))
+    return loads_trace(
+        Path(path).read_text(encoding="utf-8"), source=str(path)
+    )
 
 
 def diff_traces(a: ReductionTrace, b: ReductionTrace) -> List[str]:

@@ -9,7 +9,14 @@ can match on codes instead of message text.  The code space:
 * ``CTX2xx`` — system-level defects (Def. 4–9): parenthood, invocation
   graph, order propagation, topology specs;
 * ``CTX3xx`` — program/trace/document-level findings: the static safety
-  pass, execution mismatches, versioning, malformed input.
+  pass, execution mismatches, versioning, malformed input;
+* ``CTX4xx`` — document **I/O** defects raised while reading files:
+  text that is not JSON at all, truncated documents (the signature of
+  an interrupted write), roots of the wrong shape.  These are reported
+  through :class:`repro.exceptions.ParseError` by the loaders in
+  :mod:`repro.io` (which carry the rendered diagnostic, the line, and
+  the byte offset), and are registered here so tooling can match their
+  codes exactly like lint findings.
 
 Severity policy: a defect that makes the model meaningless (an axiom
 violation, a cyclic order, a dangling reference) is an **error**; a
@@ -86,6 +93,11 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "CTX304": (Severity.ERROR, "trace front verdict contradicts its "
                "recorded relations"),
     "CTX305": (Severity.ERROR, "malformed document"),
+    # -- CTX4xx: document I/O (repro.io loaders) -----------------------
+    "CTX401": (Severity.ERROR, "document is not valid JSON"),
+    "CTX402": (Severity.ERROR, "document truncated: JSON text ends "
+               "unexpectedly"),
+    "CTX403": (Severity.ERROR, "document root is not a JSON object"),
 }
 
 #: Def.-3 axiom name -> diagnostic code (the ScheduleAxiomError bridge).

@@ -15,10 +15,13 @@ from repro.obs.sink import (
     ENV_FIELDS,
     RECORD_KEYS,
     WALL_KEYS,
+    TornTail,
+    atomic_write_text,
     canonical_dumps,
     dumps_events,
     merge_streams,
     read_records,
+    salvage_records,
     sort_events,
     to_record,
     validate_records,
@@ -44,12 +47,15 @@ __all__ = [
     "Span",
     "Telemetry",
     "TelemetryEvent",
+    "TornTail",
     "WALL_KEYS",
+    "atomic_write_text",
     "canonical_dumps",
     "current",
     "dumps_events",
     "merge_streams",
     "read_records",
+    "salvage_records",
     "sort_events",
     "to_record",
     "using",

@@ -12,12 +12,31 @@ per line, in the canonical ``(stream, seq)`` order.  Record shape::
 workload — serial or sharded — compare byte-for-byte.  Everything else
 (streams, sequence numbers, names, counter values, span fields) is a
 deterministic function of the workload.
+
+Crash safety
+------------
+Two mechanisms keep telemetry readable after a crash or SIGKILL:
+
+* :func:`write_jsonl` is **atomic** — it writes to a sibling temp
+  file, ``fsync``\\ s, then ``os.replace``\\ s onto the target, so a
+  reader never observes a half-written file (the same
+  write-then-fsync-then-rename discipline batch checkpoints use);
+* :func:`salvage_records` performs **torn-tail recovery** for streams
+  that *were* killed mid-append: a final line that is not a complete
+  JSON record is truncated away (in memory) and reported as a
+  :class:`TornTail` — byte offset of the last valid record boundary,
+  bytes lost, and the torn fragment — instead of failing the read.
+  Corruption anywhere *before* the final record is still an error:
+  only an interrupted append can tear the tail, anything else means
+  the file is damaged, not merely truncated.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Sequence
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import TelemetryError
 from repro.obs.telemetry import (
@@ -77,37 +96,128 @@ def dumps_events(events: Iterable[TelemetryEvent]) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def write_jsonl(events: Iterable[TelemetryEvent], path: str) -> None:
-    """Write the canonical JSONL stream to ``path``."""
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (write, fsync, rename).
+
+    A reader sees either the previous complete file or the new
+    complete file, never a torn intermediate — the checkpointing
+    discipline shared by telemetry sinks and batch checkpoints.
+    """
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def write_jsonl(
+    events: Iterable[TelemetryEvent], path: str, *, atomic: bool = True
+) -> None:
+    """Write the canonical JSONL stream to ``path`` (atomically by
+    default; ``atomic=False`` restores the plain streaming write)."""
+    text = dumps_events(events)
+    if atomic:
+        atomic_write_text(path, text)
+        return
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(dumps_events(events))
+        handle.write(text)
+
+
+@dataclass(frozen=True)
+class TornTail:
+    """What torn-tail recovery truncated away from a killed stream.
+
+    ``valid_bytes`` is the offset of the last valid record boundary —
+    truncating the file to that length yields a fully valid stream;
+    ``lost_bytes`` is how much followed it, ``line`` the 1-based line
+    number of the torn fragment, and ``fragment`` its first characters
+    (for the report).
+    """
+
+    path: str
+    line: int
+    valid_bytes: int
+    lost_bytes: int
+    fragment: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.path}: torn final record at line {self.line}: "
+            f"{self.lost_bytes} byte(s) after offset {self.valid_bytes} "
+            f"do not form a complete record and were ignored "
+            f"(fragment: {self.fragment!r})"
+        )
+
+
+def salvage_records(
+    path: str,
+) -> Tuple[List[Dict[str, Any]], Optional[TornTail]]:
+    """Load a telemetry file, recovering from a torn final record.
+
+    A process killed mid-append (SIGKILL, power loss) leaves a final
+    line that is not a complete JSON record and carries no trailing
+    newline.  That tail is dropped and described in the returned
+    :class:`TornTail`; every intact record before it is returned.
+    Corruption anywhere else — a malformed line *followed by* more
+    data, or a complete final line that still does not parse — cannot
+    be explained by an interrupted append and raises
+    :class:`~repro.exceptions.TelemetryError` as before.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    lines = data.splitlines(keepends=True)
+    records: List[Dict[str, Any]] = []
+    offset = 0
+    for i, raw in enumerate(lines):
+        stripped = raw.strip()
+        if not stripped:
+            offset += len(raw)
+            continue
+        lineno = i + 1
+        tearable = i == len(lines) - 1 and not raw.endswith(b"\n")
+        problem: Optional[str] = None
+        record: Any = None
+        try:
+            record = json.loads(stripped.decode("utf-8"))
+        except UnicodeDecodeError as err:
+            problem = f"undecodable bytes ({err})"
+        except json.JSONDecodeError as err:
+            problem = f"not valid JSON ({err})"
+        if problem is None and not isinstance(record, dict):
+            problem = "expected a JSON object"
+        if problem is not None:
+            if tearable:
+                return records, TornTail(
+                    path=str(path),
+                    line=lineno,
+                    valid_bytes=offset,
+                    lost_bytes=len(data) - offset,
+                    fragment=stripped[:80].decode("utf-8", "replace"),
+                )
+            raise TelemetryError(f"{path}:{lineno}: {problem}")
+        version = record.get("v")
+        if version != SCHEMA_VERSION:
+            raise TelemetryError(
+                f"{path}:{lineno}: telemetry schema version {version!r} "
+                f"(this build reads version {SCHEMA_VERSION})"
+            )
+        records.append(record)
+        offset += len(raw)
+    return records, None
 
 
 def read_records(path: str) -> List[Dict[str, Any]]:
-    """Load a telemetry file back as raw records (version-checked)."""
-    records: List[Dict[str, Any]] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as err:
-                raise TelemetryError(
-                    f"{path}:{lineno}: not valid JSON ({err})"
-                ) from err
-            if not isinstance(record, dict):
-                raise TelemetryError(
-                    f"{path}:{lineno}: expected a JSON object"
-                )
-            version = record.get("v")
-            if version != SCHEMA_VERSION:
-                raise TelemetryError(
-                    f"{path}:{lineno}: telemetry schema version {version!r} "
-                    f"(this build reads version {SCHEMA_VERSION})"
-                )
-            records.append(record)
+    """Load a telemetry file back as raw records (version-checked).
+
+    Strict: a torn final record raises; use :func:`salvage_records`
+    to recover everything before the tear instead.
+    """
+    records, torn = salvage_records(path)
+    if torn is not None:
+        raise TelemetryError(
+            torn.describe() + " (salvage_records recovers the intact prefix)"
+        )
     return records
 
 

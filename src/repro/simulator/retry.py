@@ -17,12 +17,26 @@ passes its seeded stream), so runs stay bit-for-bit deterministic.
 :class:`LinearBackoff` with default parameters reproduces the legacy
 engine behaviour exactly — same formula, same single RNG draw per
 retry — so existing seeded tests are unaffected.
+
+Seeding contract
+----------------
+A policy constructed with ``seed=N`` owns a private
+``random.Random(N)`` stream and ignores the RNG argument of
+:meth:`RetryPolicy.delay`.  This is how *sharded* consumers (the batch
+supervisor, per-cell chaos runs) stay reproducible: each task derives
+its policy seed from stable identifiers only — the run's base seed and
+the task's submission index, never worker ids or wall-clock — so the
+jitter sequence of any one task is the same whether the grid runs
+serially, across N processes, or resumed from a checkpoint.  An
+*unseeded* policy (``seed=None``, the default) keeps the legacy
+behaviour of drawing from the caller's stream, which the simulation
+engine relies on for its own bit-for-bit determinism.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, FrozenSet, Iterable, Optional
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional
 
 from repro.exceptions import SimulationError
 
@@ -33,6 +47,8 @@ class RetryPolicy:
     ``non_retryable`` abort reasons make the root give up immediately;
     ``reason_budgets`` caps how many aborts of one reason a root absorbs
     before giving up (independent of the global ``max_attempts``).
+    ``seed`` gives the policy a private deterministic jitter stream
+    (see the module docstring for the seeding contract).
     """
 
     name = "abstract"
@@ -42,9 +58,19 @@ class RetryPolicy:
         *,
         non_retryable: Iterable[str] = (),
         reason_budgets: Optional[Dict[str, int]] = None,
+        seed: Optional[int] = None,
     ) -> None:
         self.non_retryable: FrozenSet[str] = frozenset(non_retryable)
         self.reason_budgets: Dict[str, int] = dict(reason_budgets or {})
+        self.seed = seed
+        self._rng: Optional[random.Random] = (
+            random.Random(seed) if seed is not None else None
+        )
+
+    def _jitter_rng(self, rng: random.Random) -> random.Random:
+        """The stream jitter is drawn from: the private seeded stream
+        when the policy was seeded, else the caller's."""
+        return self._rng if self._rng is not None else rng
 
     # ------------------------------------------------------------------
     def delay(
@@ -82,7 +108,9 @@ class LinearBackoff(RetryPolicy):
 
     name = "linear"
 
-    def __init__(self, base: float = 3.0, *, floor: float = 0.01, **kw) -> None:
+    def __init__(
+        self, base: float = 3.0, *, floor: float = 0.01, **kw: Any
+    ) -> None:
         super().__init__(**kw)
         self.base = base
         self.floor = floor
@@ -90,11 +118,20 @@ class LinearBackoff(RetryPolicy):
     def delay(
         self, attempt: int, rng: random.Random, last_delay: float = 0.0
     ) -> float:
+        rng = self._jitter_rng(rng)
         return rng.random() * (self.base * attempt) + self.floor
 
 
 class ExponentialBackoff(RetryPolicy):
-    """``U(0, min(cap, base * 2**(attempt-1))) + floor`` (full jitter)."""
+    """``U(0, min(cap, base * 2**(attempt-1))) + floor`` (full jitter).
+
+    ``ExponentialBackoff(seed=N)`` is the *deterministic* full-jitter
+    variant: jitter comes from a private ``random.Random(N)`` stream,
+    so the delay sequence depends only on the seed and the number of
+    draws — the default policy of the chaos layer and the batch
+    supervisor, both of which derive ``N`` from (base seed, task
+    index) to keep sharded and resumed runs reproducible.
+    """
 
     name = "exponential"
 
@@ -104,7 +141,7 @@ class ExponentialBackoff(RetryPolicy):
         *,
         cap: float = 60.0,
         floor: float = 0.01,
-        **kw,
+        **kw: Any,
     ) -> None:
         super().__init__(**kw)
         self.base = base
@@ -114,6 +151,7 @@ class ExponentialBackoff(RetryPolicy):
     def delay(
         self, attempt: int, rng: random.Random, last_delay: float = 0.0
     ) -> float:
+        rng = self._jitter_rng(rng)
         ceiling = min(self.cap, self.base * (2.0 ** (attempt - 1)))
         return rng.random() * ceiling + self.floor
 
@@ -127,7 +165,7 @@ class DecorrelatedJitterBackoff(RetryPolicy):
     name = "decorrelated-jitter"
 
     def __init__(
-        self, base: float = 1.0, *, cap: float = 60.0, **kw
+        self, base: float = 1.0, *, cap: float = 60.0, **kw: Any
     ) -> None:
         super().__init__(**kw)
         self.base = base
@@ -136,6 +174,7 @@ class DecorrelatedJitterBackoff(RetryPolicy):
     def delay(
         self, attempt: int, rng: random.Random, last_delay: float = 0.0
     ) -> float:
+        rng = self._jitter_rng(rng)
         previous = max(last_delay, self.base)
         return min(self.cap, rng.uniform(self.base, previous * 3.0))
 
@@ -149,10 +188,12 @@ POLICIES: Dict[str, Callable[..., RetryPolicy]] = {
 
 
 def make_retry_policy(
-    spec: "str | RetryPolicy", *, base: float = 3.0, **kw
+    spec: "str | RetryPolicy", *, base: float = 3.0, **kw: Any
 ) -> RetryPolicy:
     """Resolve a policy: an instance passes through, a name is
-    instantiated with ``base`` (the config's ``retry_backoff``)."""
+    instantiated with ``base`` (the config's ``retry_backoff``).
+    Extra keywords (``seed``, ``non_retryable``, ...) are forwarded to
+    the policy constructor."""
     if isinstance(spec, RetryPolicy):
         return spec
     try:

@@ -1,0 +1,99 @@
+"""Tests for hardened document loading: CTX4xx diagnostics with file,
+line, and byte offset on every malformed-input failure."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.io.jsondoc import parse_json_document
+from repro.io.text_format import load, loads
+from repro.io.trace import load_trace, loads_trace
+
+
+def err_for(text, **kw):
+    with pytest.raises(ParseError) as excinfo:
+        parse_json_document(text, **kw)
+    return excinfo.value
+
+
+class TestParseJsonDocument:
+    def test_valid_document_passes_through(self):
+        assert parse_json_document('{"a": 1}') == {"a": 1}
+        assert parse_json_document("[1, 2]") == [1, 2]
+
+    def test_invalid_json_is_ctx401(self):
+        err = err_for('{"schedules": }', source="mem.json")
+        assert err.diagnostic is not None
+        assert err.diagnostic.code == "CTX401"
+        assert err.diagnostic.location.file == "mem.json"
+        assert err.line == 1
+        assert err.offset == 14
+        assert "mem.json" in str(err)
+        assert "byte offset 14" in str(err)
+
+    def test_truncated_json_is_ctx402(self):
+        err = err_for('{"schedules": {"S": ')
+        assert err.diagnostic.code == "CTX402"
+        assert "truncated" in str(err)
+        assert "recover the complete original" in str(err)
+        assert err.offset == 20
+
+    def test_truncated_multiline_reports_position(self):
+        err = err_for('{\n  "schedules": {\n    "S": [\n')
+        assert err.diagnostic.code == "CTX402"
+        assert err.line == 4
+
+    def test_array_root_is_ctx403_only_when_object_expected(self):
+        assert parse_json_document("[1, 2, 3]") == [1, 2, 3]
+        err = err_for("[1, 2, 3]", expect_object=True)
+        assert err.diagnostic.code == "CTX403"
+        assert "list" in str(err)
+
+    def test_scalar_root_is_ctx403(self):
+        err = err_for("42", expect_object=True)
+        assert err.diagnostic.code == "CTX403"
+        assert "int" in str(err)
+
+    def test_empty_text_is_truncation(self):
+        err = err_for("")
+        assert err.diagnostic.code == "CTX402"
+
+
+class TestHardenedLoaders:
+    def test_loads_names_no_file(self):
+        err = err_for("{broken")
+        assert err.diagnostic.location.file is None
+
+    def test_load_names_the_file(self, tmp_path):
+        doc = tmp_path / "broken.json"
+        doc.write_text('{"schedules": {"S": ')
+        with pytest.raises(ParseError) as excinfo:
+            load(doc)
+        err = excinfo.value
+        assert err.diagnostic.code == "CTX402"
+        assert err.diagnostic.location.file == str(doc)
+        assert str(doc) in str(err)
+
+    def test_loads_rejects_array_root_as_ctx403(self):
+        with pytest.raises(ParseError) as excinfo:
+            loads("[1, 2]")
+        assert excinfo.value.diagnostic.code == "CTX403"
+
+    def test_loads_still_requires_schedules_section(self):
+        with pytest.raises(ParseError, match="no 'schedules' section"):
+            loads('{"not_schedules": {}}')
+
+    def test_loads_trace_invalid_json(self):
+        with pytest.raises(ParseError) as excinfo:
+            loads_trace('{"v": 1,,}', source="t.json")
+        err = excinfo.value
+        assert err.diagnostic.code == "CTX401"
+        assert err.diagnostic.location.file == "t.json"
+
+    def test_load_trace_truncated_file(self, tmp_path):
+        doc = tmp_path / "trace.json"
+        doc.write_text('{"v": 1, "events": [')
+        with pytest.raises(ParseError) as excinfo:
+            load_trace(doc)
+        err = excinfo.value
+        assert err.diagnostic.code == "CTX402"
+        assert err.diagnostic.location.file == str(doc)
