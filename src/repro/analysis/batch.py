@@ -63,6 +63,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from functools import partial
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -73,6 +74,9 @@ from typing import (
     Tuple,
     TypeVar,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.analysis.fleet import FleetConfig, FleetReport
 
 from repro.analysis.checkpoint import (
     CheckpointSection,
@@ -212,12 +216,15 @@ class BatchReport:
     ``results`` is submission-ordered with ``None`` holes at
     quarantined indices; ``completed`` maps index -> result for the
     successes; ``quarantine`` describes every task the supervisor gave
-    up on.
+    up on; ``fleet`` is the coordination report when the batch ran
+    under a :mod:`repro.analysis.fleet` coordinator (``None`` for the
+    serial and process-pool paths).
     """
 
     results: List[Any]
     quarantine: QuarantineReport = field(default_factory=QuarantineReport)
     completed: Dict[int, Any] = field(default_factory=dict)
+    fleet: Optional["FleetReport"] = None
 
     @property
     def missing(self) -> Tuple[int, ...]:
@@ -345,6 +352,7 @@ def run_batch_report(
     chunksize: int = 0,
     telemetry: Optional[Telemetry] = None,
     supervisor: Optional[BatchSupervisor] = None,
+    fleet: Optional["FleetConfig"] = None,
 ) -> BatchReport:
     """Run ``worker`` over ``tasks`` under supervision; never raises
     for task failures unless fail-fast semantics apply.
@@ -355,6 +363,14 @@ def run_batch_report(
     the first failing task aborts the batch.  With one, tasks are
     individually supervised (timeout, retry, hang detection) and
     failures are quarantined unless ``supervisor.fail_fast``.
+
+    A ``fleet`` configuration (explicit, or ambient via
+    :func:`repro.analysis.fleet.fleet_scope`) replaces the process
+    pool with the lease-based coordinator of
+    :mod:`repro.analysis.fleet`: long-lived heartbeating workers,
+    crash/hang attribution, shard quarantine after repeated worker
+    loss, duplicate-result dedup — same submission-order fold, same
+    byte-identity contract.
 
     When an ambient :func:`repro.analysis.checkpoint.checkpointing`
     session is active, this call claims its next checkpoint section:
@@ -370,12 +386,17 @@ def run_batch_report(
     tele = telemetry if telemetry is not None else current()
     capture = tele.enabled
     task_list = list(tasks)
+    if fleet is None:
+        from repro.analysis.fleet import ambient_fleet
+
+        fleet = ambient_fleet()
     session = ambient_session()
     section: Optional[CheckpointSection] = None
+    fingerprint = ""
+    if session is not None or fleet is not None:
+        fingerprint = batch_fingerprint(worker, task_list)
     if session is not None:
-        section = session.section(
-            batch_fingerprint(worker, task_list), len(task_list)
-        )
+        section = session.section(fingerprint, len(task_list))
     restored: Dict[int, Tuple[Any, List[TelemetryEvent]]] = (
         dict(section.completed) if section is not None else {}
     )
@@ -390,7 +411,22 @@ def run_batch_report(
             (i, task) for i, task in enumerate(task_list) if i not in skip
         ]
         outcomes: Dict[int, _TaskOutcome] = {}
-        if workers <= 1 or len(todo) <= 1:
+        fleet_report: Optional["FleetReport"] = None
+        if fleet is not None and len(todo) > 1:
+            from repro.analysis.fleet import run_fleet
+
+            span.note(fleet=fleet.workers)
+            outcomes, fleet_report = run_fleet(
+                worker,
+                todo,
+                fleet,
+                capture=capture,
+                supervisor=supervisor,
+                section=section,
+                fingerprint=fingerprint,
+                telemetry=tele,
+            )
+        elif workers <= 1 or len(todo) <= 1:
             for i, task in todo:
                 outcome = _run_guarded(worker, capture, supervisor, (i, task))
                 outcomes[i] = outcome
@@ -416,7 +452,7 @@ def run_batch_report(
             )
 
         # fold everything back in submission order
-        report = BatchReport(results=[])
+        report = BatchReport(results=[], fleet=fleet_report)
         for entry in restored_quarantine:
             report.quarantine.add(entry)
         first_failure: Optional[Tuple[_TaskOutcome, T]] = None
@@ -452,6 +488,10 @@ def run_batch_report(
                 section.record_quarantine(entry)
             if first_failure is None:
                 first_failure = (outcome, task)
+        # normalize: restored + fresh entries in one deterministic
+        # task-index order, duplicates (a resume replaying a recorded
+        # quarantine) collapsed
+        report.quarantine = QuarantineReport.merge([report.quarantine])
         fail_fast = supervisor.fail_fast if supervisor is not None else True
         if first_failure is not None and fail_fast:
             outcome, task = first_failure
@@ -580,11 +620,13 @@ class ChaosGridReport:
     ``points`` aggregates whatever cells completed (a quarantined
     (protocol, seed) cell is simply absent from its protocol's
     average — the per-point ``runs`` says how many survived);
-    ``quarantine`` names every cell that did not.
+    ``quarantine`` names every cell that did not; ``fleet`` carries
+    the coordination report when the grid ran under ``--fleet``.
     """
 
     points: List[Any]
     quarantine: QuarantineReport = field(default_factory=QuarantineReport)
+    fleet: Optional["FleetReport"] = None
 
 
 def chaos_grid_report(
@@ -629,7 +671,9 @@ def chaos_grid_report(
                 runs,
             )
         )
-    return ChaosGridReport(points=points, quarantine=batch.quarantine)
+    return ChaosGridReport(
+        points=points, quarantine=batch.quarantine, fleet=batch.fleet
+    )
 
 
 def chaos_grid(

@@ -237,6 +237,7 @@ class CheckpointSession:
         self.path = path
         self.argv = list(argv)
         self.interval = max(1, interval)
+        self.completed_ok = False
         self._sections: List[CheckpointSection] = []
         self._restored: List[Dict[str, Any]] = []
         self._pending = 0
@@ -310,8 +311,15 @@ class CheckpointSession:
         return {
             "v": CHECKPOINT_VERSION,
             "argv": self.argv,
+            "complete": self.completed_ok,
             "sections": sections,
         }
+
+    def mark_complete(self) -> None:
+        """Record that the checkpointed command ran to the end — the
+        definitive nothing-left-to-resume signal ``composite-tx
+        resume`` consults before re-dispatching anything."""
+        self.completed_ok = True
 
     def flush(self) -> None:
         """Atomically rewrite the checkpoint document."""
@@ -324,6 +332,38 @@ class CheckpointSession:
 
     def close(self) -> None:
         self.flush()
+
+
+def checkpoint_complete(document: Dict[str, Any]) -> bool:
+    """Whether a checkpoint document records a finished run.
+
+    True when the command marked the checkpoint complete on a clean
+    exit, or when every recorded section is fully accounted for (each
+    task completed or quarantined) — the state an already-finished
+    run's checkpoint is in.  ``composite-tx resume`` uses this to
+    print "nothing to resume" and exit 0 instead of re-dispatching
+    the full recorded command (and spawning a pool) for no work.
+    """
+    if document.get("complete") is True:
+        return True
+    sections = document.get("sections")
+    if not isinstance(sections, list) or not sections:
+        return False
+    for section in sections:
+        if not isinstance(section, dict):
+            return False
+        total = section.get("total")
+        completed = section.get("completed", [])
+        quarantined = section.get("quarantined", [])
+        if not isinstance(total, int):
+            return False
+        if not isinstance(completed, list) or not isinstance(
+            quarantined, list
+        ):
+            return False
+        if len(completed) + len(quarantined) < total:
+            return False
+    return True
 
 
 def read_checkpoint(path: str) -> Dict[str, Any]:
@@ -366,11 +406,16 @@ def checkpointing(session: CheckpointSession) -> Iterator[CheckpointSession]:
     session is flushed on entry (so the checkpoint file exists — and
     records the command line — from the first instant, making a run
     killed before its first completed task still resumable) and on
-    exit, even on error."""
+    exit, even on error.  A block that exits *cleanly* marks the
+    checkpoint complete (see :func:`checkpoint_complete`)."""
     token = _SESSION.set(session)
+    finished = False
     try:
         session.flush()
         yield session
+        finished = True
     finally:
         _SESSION.reset(token)
+        if finished:
+            session.mark_complete()
         session.close()

@@ -33,7 +33,16 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Union,
+)
 
 from repro.exceptions import TaskTimeoutError
 from repro.simulator.retry import RetryPolicy, make_retry_policy
@@ -60,6 +69,13 @@ def time_limit(seconds: Optional[float]) -> Iterator[None]:
     only guard.  Worker processes of a ``ProcessPoolExecutor`` run
     tasks on their main thread, so the guard is active in exactly the
     place that matters.
+
+    Contexts nest: ``setitimer`` returns the previously armed
+    ``ITIMER_REAL`` value, and the remaining portion of that outer
+    timer (minus the time spent inside this block) is re-armed on
+    exit, so an inner ``time_limit`` never silently disarms an outer
+    one.  An outer budget that expired *while* the inner guard held
+    the timer fires immediately after the inner block exits.
     """
     if (
         not seconds
@@ -76,12 +92,21 @@ def time_limit(seconds: Optional[float]) -> Iterator[None]:
         )
 
     previous = signal.signal(signal.SIGALRM, _expired)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    started = time.monotonic()
+    outer_delay, outer_interval = signal.setitimer(
+        signal.ITIMER_REAL, seconds
+    )
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if outer_delay:
+            remaining = outer_delay - (time.monotonic() - started)
+            # an already-overdue outer guard fires as soon as possible
+            signal.setitimer(
+                signal.ITIMER_REAL, max(remaining, 1e-6), outer_interval
+            )
 
 
 @dataclass
@@ -144,6 +169,24 @@ class QuarantineReport:
     def add(self, entry: QuarantinedTask) -> None:
         self.entries.append(entry)
         self.entries.sort(key=lambda e: e.index)
+
+    @classmethod
+    def merge(
+        cls, reports: "Iterable[QuarantineReport]"
+    ) -> "QuarantineReport":
+        """Deterministic cross-shard merge: entries from every report,
+        ordered by task index, deduplicated by index (first report
+        wins — lease races can deliver the same quarantined shard
+        twice).  Fleet and serial keep-going runs therefore render
+        identical quarantine sections regardless of completion order.
+        """
+        merged = cls()
+        seen: Dict[int, QuarantinedTask] = {}
+        for report in reports:
+            for entry in report.entries:
+                seen.setdefault(entry.index, entry)
+        merged.entries = [seen[index] for index in sorted(seen)]
+        return merged
 
     def indices(self) -> List[int]:
         return [entry.index for entry in self.entries]

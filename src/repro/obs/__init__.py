@@ -13,6 +13,7 @@ the cycle.
 
 from repro.obs.sink import (
     ENV_FIELDS,
+    ENV_STREAMS,
     RECORD_KEYS,
     WALL_KEYS,
     TornTail,
@@ -40,6 +41,7 @@ from repro.obs.telemetry import (
 
 __all__ = [
     "ENV_FIELDS",
+    "ENV_STREAMS",
     "EVENT_KINDS",
     "NULL_TELEMETRY",
     "RECORD_KEYS",

@@ -49,10 +49,19 @@ from repro.obs.telemetry import (
 WALL_KEYS = ("dur_s",)
 
 #: span fields describing the execution *environment* rather than the
-#: computation (worker count, pool chunking); also dropped by
-#: :func:`canonical_dumps` — ``--workers 1`` and ``--workers 4`` do the
-#: same work, and the canonical stream should say so.
-ENV_FIELDS = ("workers", "chunksize")
+#: computation (worker count, pool chunking, fleet size); also dropped
+#: by :func:`canonical_dumps` — ``--workers 1`` and ``--workers 4`` do
+#: the same work, and the canonical stream should say so.
+ENV_FIELDS = ("workers", "chunksize", "fleet")
+
+#: whole streams describing the execution environment: the fleet
+#: coordinator's stream records *how* the grid was driven (lease
+#: expiries, worker replacements, shard reassignments — all functions
+#: of real-world scheduling and injected harness faults, not of the
+#: workload).  :func:`canonical_dumps` drops these streams entirely so
+#: a ``--fleet 4`` run with a SIGKILLed worker still compares
+#: byte-identical to ``--workers 1``.
+ENV_STREAMS = ("fleet",)
 
 #: exactly the keys every record must carry
 RECORD_KEYS = ("v", "stream", "seq", "kind", "name", "depth", "dur_s", "fields")
@@ -227,10 +236,14 @@ def canonical_dumps(records: Sequence[Dict[str, Any]]) -> str:
 
     Two seeded runs of the same workload produce byte-identical
     canonical dumps regardless of worker count — the determinism
-    contract the CLI tests pin.
+    contract the CLI tests pin.  Records of :data:`ENV_STREAMS`
+    streams (the fleet coordinator's) are dropped wholesale: they
+    describe harness scheduling, not the computation.
     """
     cleaned = []
     for record in records:
+        if record.get("stream") in ENV_STREAMS:
+            continue
         kept = {k: v for k, v in record.items() if k not in WALL_KEYS}
         fields = kept.get("fields")
         if isinstance(fields, dict):

@@ -251,14 +251,125 @@ class TestKillAndResume:
         resumed = _run_cli(["resume", str(ck)], cwd=str(tmp_path))
         assert resumed.returncode == 0, resumed.stderr
 
-        assert resumed.stdout == ref.stdout
-        ours = canonical_dumps(read_records(str(tmp_path / "out.jsonl")))
-        theirs = canonical_dumps(read_records(str(tmp_path / "ref.jsonl")))
-        assert ours == theirs
+        if killed_mid_run:
+            assert resumed.stdout == ref.stdout
+            ours = canonical_dumps(read_records(str(tmp_path / "out.jsonl")))
+            theirs = canonical_dumps(
+                read_records(str(tmp_path / "ref.jsonl"))
+            )
+            assert ours == theirs
+        else:
+            # the victim finished before the kill landed: the
+            # checkpoint records a completed run, and resume says so
+            # instead of re-dispatching
+            assert "nothing to resume" in resumed.stdout
 
     def test_resume_without_recorded_argv_fails_cleanly(self, tmp_path):
         ck = tmp_path / "ck.json"
-        ck.write_text('{"v": 1, "argv": [], "sections": []}')
+        ck.write_text(
+            '{"v": 1, "argv": [], "sections": '
+            '[{"fingerprint": "x", "total": 2, "completed": [], '
+            '"quarantined": []}]}'
+        )
         result = _run_cli(["resume", str(ck)], cwd=str(tmp_path))
         assert result.returncode != 0
         assert "no command line recorded" in result.stderr
+
+
+class TestCheckpointComplete:
+    """The nothing-to-resume detection (`checkpoint_complete`)."""
+
+    @staticmethod
+    def _section(total, completed, quarantined=0):
+        return {
+            "fingerprint": "fp",
+            "total": total,
+            "completed": [
+                {"index": i, "result": None, "events": []}
+                for i in range(completed)
+            ],
+            "quarantined": [
+                {"index": completed + i} for i in range(quarantined)
+            ],
+        }
+
+    def test_clean_exit_flag_wins(self):
+        from repro.analysis.checkpoint import checkpoint_complete
+
+        assert checkpoint_complete({"complete": True, "sections": []})
+
+    def test_fully_recorded_sections_are_complete(self):
+        from repro.analysis.checkpoint import checkpoint_complete
+
+        document = {
+            "sections": [self._section(3, 3), self._section(4, 2, 2)]
+        }
+        assert checkpoint_complete(document)
+
+    def test_unfinished_section_is_incomplete(self):
+        from repro.analysis.checkpoint import checkpoint_complete
+
+        document = {
+            "sections": [self._section(3, 3), self._section(4, 2, 1)]
+        }
+        assert not checkpoint_complete(document)
+
+    def test_empty_and_malformed_documents_are_incomplete(self):
+        from repro.analysis.checkpoint import checkpoint_complete
+
+        assert not checkpoint_complete({})
+        assert not checkpoint_complete({"sections": []})
+        assert not checkpoint_complete({"sections": "nope"})
+        assert not checkpoint_complete({"sections": [{"total": "many"}]})
+
+    def test_clean_session_exit_marks_checkpoint_complete(self, tmp_path):
+        from repro.analysis.checkpoint import checkpoint_complete
+
+        path = tmp_path / "ck.json"
+        session = CheckpointSession(str(path), argv=["chaos"])
+        with checkpointing(session):
+            run_batch_report(
+                [(str(tmp_path / "log"), v) for v in range(3)],
+                counting_square,
+            )
+        assert checkpoint_complete(json.loads(path.read_text()))
+
+    def test_killed_session_checkpoint_stays_incomplete(self, tmp_path):
+        from repro.analysis.checkpoint import checkpoint_complete
+
+        path = tmp_path / "ck.json"
+        session = CheckpointSession(str(path), argv=["chaos"], interval=1)
+        with pytest.raises(RuntimeError):
+            with checkpointing(session):
+                section = session.section("fp", 3)
+                section.record(0, 1, [])
+                raise RuntimeError("simulated crash")
+        assert not checkpoint_complete(json.loads(path.read_text()))
+
+    def test_resume_of_complete_checkpoint_prints_and_exits_zero(
+        self, tmp_path
+    ):
+        """Satellite contract: resuming an already-complete checkpoint
+        says so and exits 0 without spawning a pool."""
+        done = _run_cli(
+            [
+                "chaos",
+                "--runs",
+                "1",
+                "--transactions",
+                "2",
+                "--clients",
+                "2",
+                "--protocols",
+                "cc",
+                "--checkpoint-out",
+                str(tmp_path / "ck.json"),
+            ],
+            cwd=str(tmp_path),
+        )
+        assert done.returncode == 0, done.stderr
+        resumed = _run_cli(
+            ["resume", str(tmp_path / "ck.json")], cwd=str(tmp_path)
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "nothing to resume" in resumed.stdout

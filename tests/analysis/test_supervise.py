@@ -73,6 +73,40 @@ class TestTimeLimit:
             pass
         assert signal.getitimer(signal.ITIMER_REAL)[0] == 0.0
 
+    def test_nested_inner_limit_restores_outer_budget(self):
+        """The nesting bugfix: an inner time_limit used to zero the
+        outer timer on exit, silently unbounding the outer guard.  Now
+        the outer deadline still fires after the inner block ends."""
+        with pytest.raises(TaskTimeoutError):
+            with time_limit(0.2):
+                with time_limit(5.0):
+                    time.sleep(0.05)  # inner exits cleanly
+                time.sleep(5.0)  # outer must still be armed
+
+    def test_nested_outer_deadline_already_due_fires_promptly(self):
+        """An inner block that outlives the outer budget: the restored
+        outer timer is already overdue and must fire as soon as the
+        inner guard hands control back."""
+        started = time.monotonic()
+        with pytest.raises(TaskTimeoutError):
+            with time_limit(0.05):
+                with time_limit(5.0):
+                    # survive the outer deadline inside the inner
+                    # guard: SIGALRM is armed for the INNER budget
+                    time.sleep(0.15)
+                time.sleep(5.0)
+        assert time.monotonic() - started < 2.0
+
+    def test_nested_inner_expiry_still_raises(self):
+        import signal
+
+        with pytest.raises(TaskTimeoutError):
+            with time_limit(30.0):
+                with time_limit(0.05):
+                    time.sleep(5.0)
+        # unwound completely: nothing left armed after the outer exits
+        assert signal.getitimer(signal.ITIMER_REAL)[0] == 0.0
+
 
 class TestQuarantine:
     def test_keep_going_quarantines_and_finishes(self):
@@ -146,6 +180,53 @@ class TestQuarantine:
             traceback="tb", attempts=2,
         )
         assert QuarantinedTask.from_dict(entry.to_dict()) == entry
+
+
+class TestQuarantineMerge:
+    @staticmethod
+    def _entry(index, reason=REASON_EXCEPTION, error="e"):
+        return QuarantinedTask(
+            index=index, task_repr=f"t{index}", reason=reason, error=error
+        )
+
+    def test_merge_orders_by_task_index(self):
+        a = QuarantineReport()
+        a.add(self._entry(7))
+        a.add(self._entry(2))
+        b = QuarantineReport()
+        b.add(self._entry(5))
+        merged = QuarantineReport.merge([a, b])
+        assert merged.indices() == [2, 5, 7]
+
+    def test_merge_is_order_independent(self):
+        """Cross-shard determinism: whatever order the per-shard
+        reports arrive in, the merge is the same report."""
+        parts = []
+        for indices in ([3, 1], [9], [4, 0]):
+            report = QuarantineReport()
+            for index in indices:
+                report.add(self._entry(index))
+            parts.append(report)
+        forward = QuarantineReport.merge(parts)
+        backward = QuarantineReport.merge(reversed(parts))
+        assert forward.indices() == backward.indices() == [0, 1, 3, 4, 9]
+        assert [e.to_dict() for e in forward.entries] == [
+            e.to_dict() for e in backward.entries
+        ]
+
+    def test_merge_deduplicates_replayed_entries(self):
+        """At-least-once delivery: the same task quarantined by two
+        shard attempts appears once, first report wins."""
+        a = QuarantineReport()
+        a.add(self._entry(4, error="first"))
+        b = QuarantineReport()
+        b.add(self._entry(4, error="second"))
+        merged = QuarantineReport.merge([a, b])
+        assert len(merged) == 1
+        assert merged.entries[0].error == "first"
+
+    def test_merge_of_nothing_is_empty(self):
+        assert len(QuarantineReport.merge([])) == 0
 
 
 class TestTimeoutsAndRetries:
