@@ -20,6 +20,7 @@ import os
 
 from repro.analysis.scaling import (
     checker_scaling,
+    closure_path_speedup,
     depth_scaling,
     incremental_speedup,
     sweep_speedup,
@@ -50,6 +51,7 @@ def test_bench_p2_scaling(benchmark, emit):
     )
     depth_points = depth_scaling(depths=(2, 3, 4, 5), roots=6, repeats=2)
     speedups = incremental_speedup(repeats=3)
+    closure_paths = closure_path_speedup(repeats=3)
 
     # --- assertions: monotone growth, polynomial envelope ----------------
     ops = [p.operations for p in size_points]
@@ -69,6 +71,18 @@ def test_bench_p2_scaling(benchmark, emit):
     for point in speedups:
         assert point.verdicts_match, point.label
         assert point.incremental_rows < point.scratch_rows, point.label
+
+    # --- assertions: streaming closure path ------------------------------
+    # The one wall-clock claim we do hard-assert: maintaining the closure
+    # incrementally (add_closed per arriving batch) must beat re-closing
+    # from scratch per batch at every depth, and by >=2x at the deepest.
+    # Measured headroom is ~5x, so the thresholds survive noisy CI boxes.
+    for point in closure_paths:
+        assert point.speedup > 1.0, f"depth {point.depth}: {point.speedup:.2f}x"
+    assert closure_paths[-1].speedup >= 2.0, (
+        f"depth {closure_paths[-1].depth}: "
+        f"{closure_paths[-1].speedup:.2f}x"
+    )
 
     # --- optional: serial-vs-parallel sweep -----------------------------
     # Only the determinism contract is hard-asserted; the recorded
@@ -116,6 +130,22 @@ def test_bench_p2_scaling(benchmark, emit):
         ],
     )
 
+    closure_path_table = format_table(
+        ["depth", "ops", "pairs", "batches", "scratch ms", "incr. ms", "speedup"],
+        [
+            [
+                p.depth,
+                p.operations,
+                p.pairs,
+                p.batches,
+                f"{p.scratch_seconds * 1000:.2f}",
+                f"{p.incremental_seconds * 1000:.2f}",
+                f"{p.speedup:.2f}x",
+            ]
+            for p in closure_paths
+        ],
+    )
+
     lines = [
         banner("P2: checker scaling"),
         "history size sweep (depth-2 stacks):",
@@ -126,6 +156,9 @@ def test_bench_p2_scaling(benchmark, emit):
         "",
         "incremental closure vs from-scratch (serial layouts):",
         speedup_table,
+        "",
+        "streaming closure path (add_closed vs re-close per batch):",
+        closure_path_table,
         "",
         "the decision procedure is polynomial; the dominating "
         "costs are per-level transitive closures, and the "
@@ -172,6 +205,18 @@ def test_bench_p2_scaling(benchmark, emit):
                 "verdicts_match": p.verdicts_match,
             }
             for p in speedups
+        ],
+        "closure_path": [
+            {
+                "depth": p.depth,
+                "operations": p.operations,
+                "batches": p.batches,
+                "pairs": p.pairs,
+                "scratch_seconds": p.scratch_seconds,
+                "incremental_seconds": p.incremental_seconds,
+                "speedup": p.speedup,
+            }
+            for p in closure_paths
         ],
         "sweep_speedup": None
         if sweep is None

@@ -1,0 +1,28 @@
+"""Kernel guard: the incremental closure path must never lose.
+
+The bitset rewrite exists because the old engine's incremental closure
+was a no-win: ``add_closed`` cost as much as re-closing from scratch,
+so streaming checking stayed blocked.  This guard is the tripwire — a
+fast CI smoke that fails the build the moment the incremental path's
+wall-clock speedup over from-scratch re-closing drops below 1.0 at any
+measured depth.  The measured headroom is ~5x (see BENCH_P2.json,
+"closure_path"), so a trip means a real kernel regression, not noise.
+
+Runs without the pytest-benchmark fixture so ``--benchmark-disable``
+smoke jobs execute it at full strength.
+"""
+
+from repro.analysis.scaling import closure_path_speedup
+
+
+def test_kernel_guard_incremental_closure_wins():
+    points = closure_path_speedup(depths=(3, 5), repeats=3)
+    assert points, "no closure-path measurements"
+    for point in points:
+        assert point.speedup >= 1.0, (
+            f"incremental closure path lost at depth {point.depth}: "
+            f"{point.speedup:.2f}x (incremental "
+            f"{point.incremental_seconds * 1000:.1f}ms vs scratch "
+            f"{point.scratch_seconds * 1000:.1f}ms over "
+            f"{point.batches} batches / {point.pairs} pairs)"
+        )

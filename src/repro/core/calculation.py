@@ -28,8 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.conflicts import generalized_conflict
 from repro.core.front import Front, ReductionFailure
+from repro.core.observed import group_by_schedule
 from repro.core.orders import Relation
 from repro.core.system import CompositeSystem
 
@@ -91,11 +91,32 @@ def calculation_constraints(
     otherwise, so Def. 16 step 1 may swap them — while cross-schedule
     observed pairs always bind (pessimism).  Input orders always bind: a
     serial front must contain them (Def. 19).
+
+    Built subtractively on the bitset rows: an observed pair between
+    *different* schedules always generally conflicts (``observed.orders``
+    holds by membership), so the constraints start as a whole-row copy of
+    the observed order onto the front carrier and only the diagonal and
+    the commuting same-schedule pairs are discarded — per-pair work is
+    proportional to the (small) same-schedule blocks, not to the dense
+    closed observed order.
     """
-    constraints = Relation(elements=front.nodes)
-    for a, b in front.observed.pairs():
-        if generalized_conflict(system, front.observed, a, b):
-            constraints.add(a, b)
+    constraints = front.observed.restricted_to(
+        front.nodes, carrier=front.nodes
+    )
+    constraints.remove_self_loops()
+    for sname, members in group_by_schedule(system, front.nodes).items():
+        if len(members) < 2:
+            continue
+        schedule = system.schedule(sname)
+        member_mask = constraints.mask_of(members)
+        for a in members:
+            present = constraints.row_bits(a) & member_mask
+            if not present:
+                continue
+            keep = constraints.mask_of(schedule.conflict_neighbours(a))
+            drop = present & ~keep
+            if drop:
+                constraints.discard_row_bits(a, drop)
     constraints = constraints.union(front.input_weak, front.input_strong)
     for parent, members in grouping.groups.items():
         schedule = system.schedule(system.schedule_of_transaction(parent))

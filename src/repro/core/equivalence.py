@@ -49,11 +49,21 @@ def front_at_level(
 def rename_front(front: Front, mapping: Mapping[str, str]) -> Front:
     """A copy of ``front`` with nodes renamed through ``mapping``
     (identity for unmapped nodes).  Renaming must stay injective on the
-    front's nodes."""
-    def rep(node: str) -> str:
-        return mapping.get(node, node)
+    front's nodes.
 
-    renamed_nodes = [rep(n) for n in front.nodes]
+    On the bitset engine an injective ``mapped`` is a pure row scatter
+    — the packed rows are re-addressed under the new element index, no
+    per-pair work — so renaming costs O(nodes + rows), not O(pairs).
+    The rename table is resolved once, up front, rather than once per
+    order traversal.
+    """
+    table = {n: mapping.get(n, n) for n in front.nodes}
+
+    def rep(node: str) -> str:
+        hit = table.get(node)
+        return hit if hit is not None else mapping.get(node, node)
+
+    renamed_nodes = [table[n] for n in front.nodes]
     if len(set(renamed_nodes)) != len(renamed_nodes):
         raise ValueError("renaming collapses distinct front nodes")
     return Front(

@@ -39,10 +39,22 @@ Operational notes (documented in DESIGN.md §2.1):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, List, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.orders import Relation
 from repro.core.system import CompositeSystem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.schedule import Schedule
 
 
 @dataclass(frozen=True)
@@ -108,17 +120,42 @@ def schedule_seed_pairs(
     schedule = system.schedule(sname)
     output = schedule.weak_output
     out: List[Tuple[str, str]] = []
-    for i, a in enumerate(members):
-        for b in members[i + 1:]:
-            forced = schedule.conflicting(a, b)
-            if not forced and options.seed_leaf_order:
-                forced = system.is_leaf(a) or system.is_leaf(b)
-            if not forced:
-                continue
-            if (a, b) in output:
-                out.append((a, b))
-            if (b, a) in output:
-                out.append((b, a))
+    if options.seed_leaf_order:
+        # The ablation path forces pairs by leaf-ness too, so every
+        # member pair is a candidate — keep the quadratic scan.
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                forced = schedule.conflicting(a, b)
+                if not forced:
+                    forced = system.is_leaf(a) or system.is_leaf(b)
+                if not forced:
+                    continue
+                if (a, b) in output:
+                    out.append((a, b))
+                if (b, a) in output:
+                    out.append((b, a))
+        return tuple(out)
+    # Default path: only conflicting pairs can seed, so walk the
+    # schedule's declared conflict set (sparse) instead of all member
+    # pairs (quadratic).  Candidates are ordered by member positions —
+    # exactly the order the pair scan visited them — so the emitted
+    # tuple is unchanged.
+    position = {member: i for i, member in enumerate(members)}
+    candidates: List[Tuple[int, int]] = []
+    for pair in schedule.conflicts:
+        x, y = tuple(pair)
+        ix = position.get(x)
+        iy = position.get(y)
+        if ix is None or iy is None:
+            continue
+        candidates.append((ix, iy) if ix < iy else (iy, ix))
+    candidates.sort()
+    for ia, ib in candidates:
+        a, b = members[ia], members[ib]
+        if (a, b) in output:
+            out.append((a, b))
+        if (b, a) in output:
+            out.append((b, a))
     return tuple(out)
 
 
@@ -196,11 +233,16 @@ def pull_up_delta(
     the whole front from scratch.
 
     Only rows touching a grouped node are visited: a pair needs
-    rewriting iff one endpoint is grouped, so ungrouped rows contribute
-    their intersection with ``grouped`` and grouped rows contribute
-    everything.  The returned order is set-iteration order — callers
-    only ever feed the delta into a :class:`Relation`, whose pair
-    iteration is canonical regardless of insertion order.
+    rewriting iff one endpoint is grouped, so ungrouped rows are masked
+    against the ``grouped`` bitmap (one AND each) and grouped rows
+    contribute everything.  The Def.-10.2 forgetting gate is likewise
+    applied row-at-a-time: the successors sharing ``a``'s schedule are
+    selected with the schedule's member mask and intersected with
+    ``a``'s conflict-neighbour mask, so no per-pair ``common_schedule``
+    or ``conflicting`` call is made.  The returned order is the observed
+    order's index order — callers only ever feed the delta into a
+    :class:`Relation`, whose pair iteration is canonical regardless of
+    insertion order.
     """
     if grouped is None:
         grouped = frozenset(
@@ -210,25 +252,40 @@ def pull_up_delta(
     if not grouped:
         return delta
     forget = options.forget_nonconflicting
-    # Raw row access: Relation.successors copies its row, and this loop
-    # touches every row of a (dense, closed) observed order per level.
-    rows = observed._succ
+    grouped_mask = observed.mask_of(grouped)
+    schedule_mask: Dict[str, int] = {}
+    schedules: "Dict[str, Schedule]" = {}
+    if forget:
+        for sname, members in group_by_schedule(
+            system, observed.elements
+        ).items():
+            schedule_mask[sname] = observed.mask_of(members)
+            schedules[sname] = system.schedule(sname)
     for a in observed.elements:
-        bucket = rows.get(a)
-        if not bucket:
+        mask = observed.row_bits(a)
+        if not mask:
             continue
-        targets = bucket if a in grouped else bucket & grouped
+        if a not in grouped:
+            mask &= grouped_mask
+            if not mask:
+                continue
+        if forget:
+            sa = system.schedule_of_operation(a)
+            if sa is not None:
+                same = mask & schedule_mask[sa]
+                if same:
+                    # Forget commuting same-schedule pairs wholesale.
+                    conf = observed.mask_of(
+                        schedules[sa].conflict_neighbours(a)
+                    )
+                    mask = (mask & ~same) | (same & conf)
+                    if not mask:
+                        continue
         ra = representative(a)
-        for b in targets:
+        for b in observed.unpack(mask):
             rb = representative(b)
             if ra == rb:
                 continue  # internal to one calculation — reduced away
-            if forget:
-                shared = system.common_schedule(a, b)
-                if shared is not None and not system.schedule(
-                    shared
-                ).conflicting(a, b):
-                    continue  # the forgetting rule: commutativity vouched
             delta.append((ra, rb))
     return delta
 

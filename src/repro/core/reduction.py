@@ -208,7 +208,10 @@ class ReductionEngine:
     # ------------------------------------------------------------------
     @staticmethod
     def _close_with_delta(
-        base: Relation, delta: List[Tuple[str, str]]
+        base: Relation,
+        delta: List[Tuple[str, str]],
+        *,
+        kind: str = "observed",
     ) -> Relation:
         """Close ``base ∪ delta`` given an already-closed ``base``.
 
@@ -220,6 +223,11 @@ class ReductionEngine:
         on the P2 workloads (deep stacks, dags and trees, serial
         layouts).  Both branches compute the same relation, so verdicts
         and printed fronts do not depend on the dispatch.
+
+        ``kind`` labels the call site (``observed`` / ``input-weak`` /
+        ``input-strong``); the engine ignores it, but the P2 closure-path
+        measurement hooks this method and uses the label to isolate the
+        observed-order maintenance (Def. 10.4) from input bookkeeping.
         """
         if len(delta) <= max(16, len(base)):
             base.add_closed(delta)
@@ -334,7 +342,7 @@ class ReductionEngine:
             )
             carried = set(front.observed.elements) - grouped
             delta.extend(self._seeds(new_nodes, covered=carried))
-            observed = self._close_with_delta(observed, delta)
+            observed = self._close_with_delta(observed, delta, kind="observed")
         else:
             observed = pull_up(system, front.observed, rep, self.options)
             for node in new_nodes:
@@ -359,8 +367,12 @@ class ReductionEngine:
             # front.input_* are closed (engine invariant), and restriction
             # preserves closedness — only the new schedules' input pairs
             # need propagating.
-            input_weak = self._close_with_delta(input_weak, weak_delta)
-            input_strong = self._close_with_delta(input_strong, strong_delta)
+            input_weak = self._close_with_delta(
+                input_weak, weak_delta, kind="input-weak"
+            )
+            input_strong = self._close_with_delta(
+                input_strong, strong_delta, kind="input-strong"
+            )
         else:
             input_weak.add_all(weak_delta)
             input_strong.add_all(strong_delta)

@@ -29,6 +29,7 @@ behaviour; it is the static input to the Comp-C checker.
 from __future__ import annotations
 
 from typing import (
+    AbstractSet,
     Callable,
     Dict,
     FrozenSet,
@@ -45,6 +46,9 @@ from typing import (
 from repro.core.orders import Relation
 from repro.core.transaction import Transaction
 from repro.exceptions import CycleError, ModelError, ScheduleAxiomError
+
+# Shared empty adjacency row for operations with no declared conflicts.
+_NO_NEIGHBOURS: FrozenSet[str] = frozenset()
 
 ConflictPair = FrozenSet[str]
 
@@ -122,6 +126,10 @@ class Schedule:
                 self._owner_of[op] = txn.name
 
         self._conflicts = _normalize_conflicts(conflicts)
+        # Adjacency view of the conflict set: `conflicting` sits on the
+        # observed-order and constraint hot paths, and a per-call
+        # frozenset construction dominated it.
+        self._conflict_adj: Dict[str, Set[str]] = {}
         for pair in self._conflicts:
             for op in pair:
                 if op not in self._owner_of:
@@ -129,6 +137,9 @@ class Schedule:
                         f"conflict on {op!r} which is not an operation of "
                         f"schedule {name!r}"
                     )
+            a, b = tuple(pair)
+            self._conflict_adj.setdefault(a, set()).add(b)
+            self._conflict_adj.setdefault(b, set()).add(a)
 
         operations = tuple(self._owner_of)
 
@@ -325,7 +336,14 @@ class Schedule:
 
     def conflicting(self, a: str, b: str) -> bool:
         """``CON_S(a, b)`` — symmetric, irreflexive."""
-        return frozenset((a, b)) in self._conflicts
+        adj = self._conflict_adj.get(a)
+        return adj is not None and b in adj
+
+    def conflict_neighbours(self, op: str) -> "AbstractSet[str]":
+        """All operations ``b`` with ``CON_S(op, b)`` — the whole-row
+        form of :meth:`conflicting`, used by the bitset kernels to gate
+        an entire successor row with one mask intersection."""
+        return self._conflict_adj.get(op, _NO_NEIGHBOURS)
 
     def __repr__(self) -> str:
         return (
@@ -385,26 +403,24 @@ class Schedule:
                     transactions=(ta, tb),
                 )
         for txn in self._transactions.values():
-            for a, b in txn.weak_order.pairs():
-                if (a, b) not in self._weak_output:
-                    yield ScheduleAxiomError(
-                        "2a",
-                        f"{self.name}: intra order {a} < {b} of {txn.name} "
-                        "not reflected in the weak output order",
-                        schedule=self.name,
-                        operations=(a, b),
-                        transactions=(txn.name,),
-                    )
-            for a, b in txn.strong_order.pairs():
-                if (a, b) not in self._strong_output:
-                    yield ScheduleAxiomError(
-                        "2b",
-                        f"{self.name}: strong intra order {a} << {b} of "
-                        f"{txn.name} not reflected in the strong output",
-                        schedule=self.name,
-                        operations=(a, b),
-                        transactions=(txn.name,),
-                    )
+            for a, b in txn.weak_order.missing_pairs(self._weak_output):
+                yield ScheduleAxiomError(
+                    "2a",
+                    f"{self.name}: intra order {a} < {b} of {txn.name} "
+                    "not reflected in the weak output order",
+                    schedule=self.name,
+                    operations=(a, b),
+                    transactions=(txn.name,),
+                )
+            for a, b in txn.strong_order.missing_pairs(self._strong_output):
+                yield ScheduleAxiomError(
+                    "2b",
+                    f"{self.name}: strong intra order {a} << {b} of "
+                    f"{txn.name} not reflected in the strong output",
+                    schedule=self.name,
+                    operations=(a, b),
+                    transactions=(txn.name,),
+                )
         for t, t2 in self._strong_input.pairs():
             for a in self._transactions[t].operations:
                 for b in self._transactions[t2].operations:
@@ -418,15 +434,15 @@ class Schedule:
                             transactions=(t, t2),
                         )
         # Axiom 4 (strong ⊆ weak) holds by construction, but re-check so a
-        # future refactor cannot silently break it.
-        for a, b in self._strong_output.pairs():
-            if (a, b) not in self._weak_output:
-                yield ScheduleAxiomError(
-                    "4",
-                    f"{self.name}: {a} << {b} but not {a} < {b}",
-                    schedule=self.name,
-                    operations=(a, b),
-                )
+        # future refactor cannot silently break it.  Row-wise: one
+        # AND-NOT per element instead of a membership test per pair.
+        for a, b in self._strong_output.missing_pairs(self._weak_output):
+            yield ScheduleAxiomError(
+                "4",
+                f"{self.name}: {a} << {b} but not {a} < {b}",
+                schedule=self.name,
+                operations=(a, b),
+            )
 
     # ------------------------------------------------------------------
     # per-schedule conflict consistency (used by SCC / FCC / JCC)

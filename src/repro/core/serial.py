@@ -59,16 +59,15 @@ def check_containment(front: Front, serial: Front) -> ContainmentCheck:
             f"node sets differ: {sorted(front.nodes)} vs "
             f"{sorted(serial.nodes)}"
         )
+    # Row-wise containment (``missing_pairs`` yields in canonical
+    # pairs() order, so reason strings are unchanged).
     serial_order = serial.input_strong
-    for a, b in front.input_weak.pairs():
-        if (a, b) not in serial_order:
-            reasons.append(f"input order {a} -> {b} not in the serial order")
-    for a, b in front.observed.pairs():
-        if (a, b) not in serial_order:
-            reasons.append(f"observed order {a} < {b} not in the serial order")
-    for a, b in front.observed.pairs():
-        if (a, b) not in serial.observed:
-            reasons.append(f"observed pair {a} < {b} missing from serial front")
+    for a, b in front.input_weak.missing_pairs(serial_order):
+        reasons.append(f"input order {a} -> {b} not in the serial order")
+    for a, b in front.observed.missing_pairs(serial_order):
+        reasons.append(f"observed order {a} < {b} not in the serial order")
+    for a, b in front.observed.missing_pairs(serial.observed):
+        reasons.append(f"observed pair {a} < {b} missing from serial front")
     return ContainmentCheck(holds=not reasons, reasons=reasons)
 
 

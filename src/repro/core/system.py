@@ -86,6 +86,12 @@ class CompositeSystem:
         )
         for root in self._roots:
             self._parent_of[root] = root
+        # node -> owning schedule (None for roots), precomputed: the
+        # Def. 10/11 gates ask this for every candidate observed pair.
+        self._op_schedule: Dict[str, Optional[str]] = {
+            node: (None if parent == node else self._schedule_of_txn[parent])
+            for node, parent in self._parent_of.items()
+        }
         self._leaves: Tuple[str, ...] = tuple(
             o for o in all_ops if o not in all_txns
         )
@@ -259,10 +265,10 @@ class CompositeSystem:
     def schedule_of_operation(self, node: str) -> Optional[str]:
         """The schedule that ``node`` is an *operation of* — i.e. the
         schedule owning ``parent(node)`` — or ``None`` for roots."""
-        parent = self.parent(node)
-        if parent == node:
-            return None
-        return self._schedule_of_txn[parent]
+        try:
+            return self._op_schedule[node]
+        except KeyError:
+            raise ModelError(f"unknown node {node!r}") from None
 
     def common_schedule(self, a: str, b: str) -> Optional[str]:
         """The schedule both nodes are operations of, if any.
@@ -271,10 +277,12 @@ class CompositeSystem:
         operations of a common schedule, that schedule's own conflict
         predicate is authoritative.
         """
-        sa = self.schedule_of_operation(a)
-        if sa is None:
-            return None
-        return sa if sa == self.schedule_of_operation(b) else None
+        table = self._op_schedule
+        try:
+            sa = table[a]
+            return sa if sa is not None and sa == table[b] else None
+        except KeyError as exc:
+            raise ModelError(f"unknown node {exc.args[0]!r}") from None
 
     def conflicting(self, a: str, b: str) -> bool:
         """Schedule-local conflict between two nodes that are operations
