@@ -551,6 +551,7 @@ MERGE_RULES = {
     "gave_up": "sum",
     "operations": "sum",
     "static_precheck_skips": "sum",
+    "static_refute_skips": "sum",
     "response_times": "extend",
     # Horizons ADD: each part observed its components for its own
     # end_time, so the merged capacity is components x sum(end_time).

@@ -170,6 +170,9 @@ class FleetReport:
     leases_expired: int = 0
     workers_replaced: int = 0
     duplicates_discarded: int = 0
+    #: static safety verdicts folded from per-shard results
+    #: (``verdict -> runs``; empty when the task type carries none)
+    verdicts: Dict[str, int] = field(default_factory=dict)
     timeline: List[WorkerTimeline] = field(default_factory=list)
 
     def render(self) -> str:
@@ -184,6 +187,14 @@ class FleetReport:
             f"{self.workers_replaced} worker(s) replaced, "
             f"{self.duplicates_discarded} duplicate result(s) discarded"
         ]
+        if self.verdicts:
+            lines.append(
+                "  verdicts: "
+                + " ".join(
+                    f"{verdict}:{count}"
+                    for verdict, count in sorted(self.verdicts.items())
+                )
+            )
         for entry in self.timeline:
             ended = (
                 f"{entry.ended_s:.2f}s" if entry.ended_s is not None else "?"
@@ -623,6 +634,15 @@ class FleetCoordinator:
             return False
         self._delivered.add(index)
         self.outcomes[index] = outcome
+        if outcome.error is None:
+            shard_verdicts = getattr(
+                outcome.result, "safety_verdicts", None
+            )
+            if shard_verdicts:
+                for verdict, count in shard_verdicts.items():
+                    self.report.verdicts[verdict] = (
+                        self.report.verdicts.get(verdict, 0) + int(count)
+                    )
         if outcome.error is None and self._section is not None:
             self._section.record(index, outcome.result, outcome.events)
         if outcome.error is not None and self._fail_fast:

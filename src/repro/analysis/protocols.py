@@ -159,6 +159,9 @@ class ChaosPoint:
     #: (typically CTX301: the committed system's static shape admits a
     #: conflict cycle even when the actual execution was Comp-C)
     lint_codes: Dict[str, int] = field(default_factory=dict)
+    #: static safety verdicts over the assembled executions,
+    #: ``verdict -> runs`` (certified_safe / certified_unsafe / unknown)
+    safety_verdicts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def comp_c_rate(self) -> float:
@@ -185,6 +188,21 @@ class ChaosPoint:
             for code, count in sorted(self.lint_codes.items())
         )
 
+    def verdict_breakdown(self) -> str:
+        """Compact ``verdict:count`` rendering, stable order (the
+        shortened verdict names keep the chaos table narrow)."""
+        if not self.safety_verdicts:
+            return "-"
+        short = {
+            "certified_safe": "safe",
+            "certified_unsafe": "unsafe",
+            "unknown": "unknown",
+        }
+        return " ".join(
+            f"{short.get(verdict, verdict)}:{count}"
+            for verdict, count in sorted(self.safety_verdicts.items())
+        )
+
 
 @dataclass
 class ChaosRun:
@@ -205,6 +223,9 @@ class ChaosRun:
     #: lint ``code -> count`` over the assembled execution (empty when
     #: nothing committed); a plain dict so the record stays picklable
     lint_codes: Dict[str, int] = field(default_factory=dict)
+    #: the static safety verdict of the assembled execution (one-entry
+    #: ``verdict -> 1`` map, empty when nothing committed)
+    safety_verdicts: Dict[str, int] = field(default_factory=dict)
 
 
 def chaos_run(
@@ -219,6 +240,7 @@ def chaos_run(
     retry_policy: Union[str, RetryPolicy] = "exponential",
     max_attempts: int = 10,
     horizon: float = 120.0,
+    static_precheck: bool = False,
     **plan_kw,
 ) -> ChaosRun:
     """One seeded chaos run of ``protocol`` under a random fault plan,
@@ -264,14 +286,29 @@ def chaos_run(
     assembled = result.assembled is not None
     comp_c = False
     lint_codes: Dict[str, int] = {}
+    safety_verdicts: Dict[str, int] = {}
     if assembled:
         # Imported here so the multiprocessing workers only pay for the
         # lint stack when a run actually committed something.
         from repro.lint import lint_system
 
         system = result.assembled.recorded.system
-        comp_c = is_composite_correct(system)
-        lint_codes = lint_system(system).collector.counts()
+        if static_precheck:
+            # Two-sided static pre-screen: certified systems skip the
+            # reduction outright, refuted ones are rejected from the
+            # replay-validated witness — verdicts are identical either
+            # way (the sweep in tests/lint/test_safety.py).
+            from repro.core.reduction import reduce_to_roots
+
+            comp_c = reduce_to_roots(
+                system, static_precheck=True
+            ).succeeded
+        else:
+            comp_c = is_composite_correct(system)
+        lint_report = lint_system(system)
+        lint_codes = lint_report.collector.counts()
+        if lint_report.safety is not None:
+            safety_verdicts = {str(lint_report.safety.verdict): 1}
     return ChaosRun(
         commits=metrics.commits,
         gave_up=metrics.gave_up,
@@ -284,6 +321,7 @@ def chaos_run(
         assembled=assembled,
         comp_c=comp_c,
         lint_codes=lint_codes,
+        safety_verdicts=safety_verdicts,
     )
 
 
@@ -335,6 +373,10 @@ def merge_chaos_runs(
             )
         for code, count in run.lint_codes.items():
             point.lint_codes[code] = point.lint_codes.get(code, 0) + count
+        for verdict, count in run.safety_verdicts.items():
+            point.safety_verdicts[verdict] = (
+                point.safety_verdicts.get(verdict, 0) + count
+            )
         if run.assembled:
             point.assembled_runs += 1
             if run.comp_c:

@@ -176,9 +176,11 @@ def _add_static_precheck_option(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--static-precheck",
         action="store_true",
-        help="consult the conservative static safety prover first and "
-        "skip the reduction when the system is provably Comp-C "
-        "(identical verdicts; recorded as a skipped profile level)",
+        help="consult the two-sided static analyzer first and skip the "
+        "reduction when the system is provably Comp-C (certified) or "
+        "provably rejected (refuted, replay-validated witness) -- "
+        "identical verdicts either way; recorded as a skipped profile "
+        "level",
     )
 
 
@@ -247,9 +249,14 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    from repro.lint import lint_paths, render_json, render_text
+    from repro.lint import (
+        lint_paths,
+        render_json,
+        render_text,
+        write_witness_file,
+    )
 
-    result, missing = lint_paths(args.paths)
+    result, missing = lint_paths(args.paths, workers=args.workers)
     for path in missing:
         print(f"lint: no such file or directory: {path}", file=sys.stderr)
     if missing:
@@ -258,9 +265,19 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print("lint: no JSON documents found", file=sys.stderr)
         return 1
     if args.format == "json":
-        print(render_json(result, strict=args.strict))
+        print(render_json(result, strict=args.strict), end="")
     else:
-        print(render_text(result, strict=args.strict))
+        print(
+            render_text(result, strict=args.strict, explain=args.explain)
+        )
+    if args.witness_out:
+        # Written before the exit code is decided: a refuting run (exit
+        # 2) is exactly when the witness document matters.
+        write_witness_file(args.witness_out, result)
+        print(
+            f"witness document written to {args.witness_out}",
+            file=sys.stderr,
+        )
     return result.exit_code(strict=args.strict)
 
 
@@ -340,12 +357,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         )
         if report.reduction.skipped_by_precheck:
             result.metrics.static_precheck_skips += 1
+        if report.reduction.skipped_by_refutation:
+            result.metrics.static_refute_skips += 1
     rows = [[k, v] for k, v in result.metrics.summary().items()]
     print(format_table(["metric", "value"], rows))
     if report is not None:
         verdict = "Comp-C" if report.correct else "NOT Comp-C"
         if report.reduction.skipped_by_precheck:
             verdict += " (statically certified, reduction skipped)"
+        elif report.reduction.skipped_by_refutation:
+            verdict += " (statically refuted, reduction skipped)"
         print(f"committed execution: {verdict}")
         if args.output:
             save(result.assembled.recorded, args.output)
@@ -375,6 +396,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         clients=args.clients,
         transactions_per_client=args.transactions,
         retry_policy=args.retry_policy,
+        static_precheck=args.static_precheck,
     )
     points = grid.points
     print(
@@ -389,6 +411,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 "wasted ops",
                 "Comp-C",
                 "lint",
+                "verdicts",
             ],
             [
                 [
@@ -401,6 +424,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                     p.discarded_operations,
                     f"{p.comp_c_runs}/{p.assembled_runs}",
                     p.lint_breakdown(),
+                    p.verdict_breakdown(),
                 ]
                 for p in points
             ],
@@ -747,6 +771,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="treat warnings as errors for the exit code",
     )
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the provenance chain behind each verdict: the "
+        "concrete SafetyEdge list of every cycle witness and the "
+        "recorded executions a refutation replays",
+    )
+    p.add_argument(
+        "--witness-out",
+        metavar="PATH",
+        help="write a schema-versioned canonical-JSON witness document "
+        "(verdict counts plus every replayable refutation); replay it "
+        "with repro.lint.replay_witness_file",
+    )
+    _add_workers_option(p)
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("info", help="structure + criteria classification")
@@ -845,6 +884,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="abort the whole grid on the first cell that exhausts its "
         "attempts, instead of quarantining it and finishing the rest",
     )
+    _add_static_precheck_option(p)
     _add_workers_option(p)
     _add_fleet_options(p)
     _add_telemetry_option(p)

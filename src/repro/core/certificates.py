@@ -12,16 +12,23 @@ The T1 benchmark runs this on every rejected instance; a certificate
 that fails to validate would indicate a checker bug, so the validator is
 deliberately implemented against the *definitions* (front relations)
 rather than by replaying the engine's constraint construction.
+
+The dual direction lives here too: :func:`replay_refutation` *replays*
+a statically constructed refutation witness through the real Def.-16
+engine (stopping at the witness level), so a CERTIFIED_UNSAFE verdict
+of :mod:`repro.lint.safety` is always backed by an actual rejection —
+the refuter is sound by construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.calculation import grouping_for_level
 from repro.core.front import Front
-from repro.core.reduction import ReductionResult
+from repro.core.observed import ObservedOrderOptions
+from repro.core.reduction import ReductionEngine, ReductionResult
 from repro.core.system import CompositeSystem
 from repro.exceptions import ReductionError
 
@@ -60,6 +67,31 @@ def _justify_edge(
         if txn.weakly_ordered(a, b):
             return f"intra-transaction order of {parent_a}"
     return ""
+
+
+def replay_refutation(
+    system: CompositeSystem,
+    level: int,
+    options: Optional[ObservedOrderOptions] = None,
+    *,
+    incremental: bool = True,
+) -> ReductionResult:
+    """Replay the recorded execution through the reduction up to
+    ``level`` (the static refuter's candidate level).
+
+    The call never consults the static prover (no recursion): it is the
+    ground truth the refuter validates its witness against.  A
+    ``failure`` on the returned result proves the recorded execution is
+    not Comp-C (a prefix rejection is a rejection — the full reduction
+    stops at the same level); a clean result proves nothing, and the
+    caller must keep the cycle as a warning.
+    """
+    engine = ReductionEngine(
+        system,
+        options if options is not None else ObservedOrderOptions(),
+        incremental=incremental,
+    )
+    return engine.run(stop_level=min(level, system.order))
 
 
 def validate_failure_certificate(result: ReductionResult) -> CertificateCheck:

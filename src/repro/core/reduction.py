@@ -108,6 +108,17 @@ class ReductionResult:
             and not self.fronts
         )
 
+    @property
+    def skipped_by_refutation(self) -> bool:
+        """True when the rejection came from the static refuter's
+        replay-validated witness (no fronts were constructed here —
+        the refuter already replayed the failing prefix)."""
+        return (
+            self.static_certificate is not None
+            and self.static_certificate.refuted
+            and not self.fronts
+        )
+
     def profile_totals(self) -> Dict[str, float]:
         """Aggregate the per-level profile (zeroes when not profiled)."""
         return {
@@ -147,6 +158,13 @@ class ReductionResult:
                 "reduction skipped -- "
                 + self.static_certificate.summary()
                 + "\nACCEPTED -- statically certified Comp-C"
+            )
+        if self.skipped_by_refutation:
+            return (
+                "reduction skipped -- "
+                + self.static_certificate.summary()
+                + "\nREJECTED -- statically refuted "
+                "(replay-validated witness)"
             )
         for front in self.fronts:
             lines.append(
@@ -463,14 +481,18 @@ class ReductionEngine:
         """Run the reduction up to ``stop_level`` (default: the system
         order ``N``, i.e. all the way to the roots).
 
-        ``static_precheck`` consults the conservative prover of
-        :mod:`repro.lint.safety` first: when it certifies the system
-        statically Comp-C, no front is constructed at all — the result
-        carries the certificate, an empty front list, and one
-        ``skipped`` profile row accounting the prover's cost.  When the
-        prover declines, the full reduction runs as usual (with the
-        declined report attached for observability); verdicts are
-        identical either way because the certificate is sound.
+        ``static_precheck`` consults the two-sided static analysis of
+        :mod:`repro.lint.safety` first and skips the reduction in
+        *either* certified direction: CERTIFIED_SAFE means no front is
+        constructed at all; CERTIFIED_UNSAFE means the refuter already
+        replayed the recorded execution to a rejection, and the result
+        carries that failure reconstructed from the witness.  Either
+        way the result holds the certificate, an empty front list, and
+        one ``skipped`` profile row accounting the analysis cost.  When
+        the analysis is UNKNOWN (or declined), the full reduction runs
+        as usual (with the report attached for observability); verdicts
+        are identical in all cases because both certificate directions
+        are sound.
         """
         result = ReductionResult(system=self.system, options=self.options)
         tele = self._tele()
@@ -481,10 +503,21 @@ class ReductionEngine:
 
             with tele.span("reduce.precheck") as span:
                 certificate = prove_static_safety(self.system, self.options)
-                span.note(certified=certificate.certified)
+                span.note(verdict=str(certificate.verdict))
             result.static_certificate = certificate
-            if certificate.certified:
-                tele.count("reduce.precheck_skip")
+            if certificate.certified or certificate.refuted:
+                if certificate.certified:
+                    tele.count("reduce.precheck_skip")
+                else:
+                    tele.count("reduce.refute_skip")
+                    witness = certificate.refutation
+                    assert witness is not None  # refuted implies witness
+                    result.failure = ReductionFailure(
+                        level=int(witness.failure["level"]),  # type: ignore[arg-type]
+                        stage=str(witness.failure["stage"]),
+                        cycle=list(witness.failure["cycle"]),  # type: ignore[arg-type]
+                        blocked=tuple(witness.failure["blocked"]),  # type: ignore[arg-type]
+                    )
                 result.profile.append(
                     LevelProfile(
                         level=0,

@@ -1,15 +1,19 @@
 """Static analysis for composite systems (the ``composite-tx lint``
 subsystem).
 
-Three passes over the model vocabulary of the paper:
+Four passes over the model vocabulary of the paper:
 
 * :mod:`repro.lint.wellformed` — every Def. 3 schedule axiom and Def. 4
   system constraint as *collected* diagnostics instead of fail-fast
   exceptions;
-* :mod:`repro.lint.safety` — a conservative static Comp-C prover that
-  can certify "no execution of this system ever fails conflict
-  consistency" (letting the reduction be skipped) or warn about
-  potential conflict cycles;
+* :mod:`repro.lint.safety` — a two-sided, verdict-tiered static Comp-C
+  analysis: a forest certifier (tier 1), an orientation certifier over
+  the mixed forced/free multigraph (tier 2,
+  :mod:`repro.lint.orientation`), and a witness-producing refuter whose
+  ``CERTIFIED_UNSAFE`` verdicts are validated by replaying the recorded
+  execution through the real Def.-16 engine;
+* :mod:`repro.lint.witness` — replayable refutation certificates
+  (``--witness-out``), schema-versioned canonical JSON;
 * :mod:`repro.lint.report` — the document/file surface with text and
   JSON rendering and the exit-code contract.
 
@@ -37,7 +41,9 @@ from repro.lint.report import (
 )
 from repro.lint.safety import (
     LevelWitness,
+    RefutationWitness,
     SafetyEdge,
+    SafetyVerdict,
     StaticSafetyReport,
     analyze_system_safety,
     analyze_topology_safety,
@@ -52,6 +58,14 @@ from repro.lint.wellformed import (
     lint_topology_document,
     lint_trace_document,
 )
+from repro.lint.witness import (
+    WITNESS_VERSION,
+    ReplayOutcome,
+    build_witness_document,
+    replay_witness_document,
+    replay_witness_file,
+    write_witness_file,
+)
 
 __all__ = [
     "AXIOM_CODES",
@@ -62,12 +76,17 @@ __all__ = [
     "LevelWitness",
     "LintResult",
     "Location",
+    "RefutationWitness",
+    "ReplayOutcome",
     "SafetyEdge",
+    "SafetyVerdict",
     "Severity",
     "StaticSafetyReport",
+    "WITNESS_VERSION",
     "analyze_system_safety",
     "analyze_topology_safety",
     "axiom_diagnostic",
+    "build_witness_document",
     "lint_document",
     "lint_order_propagation",
     "lint_schedule_axioms",
@@ -81,4 +100,7 @@ __all__ = [
     "prove_static_safety",
     "render_json",
     "render_text",
+    "replay_witness_document",
+    "replay_witness_file",
+    "write_witness_file",
 ]

@@ -34,10 +34,17 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 
 class Severity(enum.Enum):
-    """Lint severity levels (ordered: ERROR > WARNING)."""
+    """Lint severity levels (ordered: ERROR > WARNING > NOTE).
+
+    Notes are purely informational: they never affect the exit code,
+    not even under ``--strict`` — they exist so machine consumers see
+    *why* the analyzer did (or did not) do something, e.g. a declined
+    static certification (``CTX306``).
+    """
 
     ERROR = "error"
     WARNING = "warning"
+    NOTE = "note"
 
     def __str__(self) -> str:
         return self.value
@@ -93,6 +100,12 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "CTX304": (Severity.ERROR, "trace front verdict contradicts its "
                "recorded relations"),
     "CTX305": (Severity.ERROR, "malformed document"),
+    "CTX306": (Severity.NOTE, "static certification declined (the "
+               "observed-order options are outside the prover's "
+               "argument)"),
+    "CTX310": (Severity.ERROR, "statically refuted: the recorded "
+               "execution is rejected by the reduction (replay-"
+               "validated witness)"),
     # -- CTX4xx: document I/O (repro.io loaders) -----------------------
     "CTX401": (Severity.ERROR, "document is not valid JSON"),
     "CTX402": (Severity.ERROR, "document truncated: JSON text ends "
@@ -241,6 +254,12 @@ class DiagnosticCollector:
     def warnings(self) -> Tuple[Diagnostic, ...]:
         return tuple(
             d for d in self._diagnostics if d.severity is Severity.WARNING
+        )
+
+    @property
+    def notes(self) -> Tuple[Diagnostic, ...]:
+        return tuple(
+            d for d in self._diagnostics if d.severity is Severity.NOTE
         )
 
     def has_errors(self) -> bool:

@@ -1,0 +1,213 @@
+"""Mixed-multigraph orientation analysis (certifier tier 2).
+
+The tier-1 forest test treats every edge of the level-``l``
+potential-conflict multigraph as freely orientable, so *any* undirected
+cycle defeats it.  But the two edge sources are not equally free:
+
+* a **weak-input edge** is direction-forced — a front's input order
+  only ever contains a schedule's recorded input pairs (and their
+  closure), never their reversals;
+* a **conflict edge** is free — the recorded execution orders the
+  conflicting pair one way or the other, and re-runs may flip it.
+
+A front can therefore fail conflict consistency only when the mixed
+multigraph (forced arcs + free undirected edges) admits a *directed*
+closed walk through distinct edges that traverses every forced arc
+forward.  This module decides that question exactly:
+
+such a cycle exists **iff**
+
+1. some forced arc has both endpoints inside one strongly connected
+   component of the mixed graph (free edges traversable both ways) —
+   the SCC supplies a simple return path, closing the cycle; or
+2. the free edges alone contain an undirected cycle (parallel free
+   edges included) — orient it around.
+
+*Only if*: a realizable cycle containing a forced arc lies entirely in
+one SCC (the cycle itself witnesses mutual reachability), putting that
+arc's endpoints in a common component (case 1); a realizable cycle
+without forced arcs is an undirected cycle of free edges (case 2).
+*If*: for case 1 take a simple path back through the SCC (simple ⟹
+edge-distinct and it cannot re-traverse the arc); for case 2 orient the
+undirected cycle cyclically.
+
+When neither condition holds, no orientation of the free edges can
+close a directed cycle — the level is safe for **every** recorded
+execution, certifying strictly more systems than the forest test
+(e.g. a forced diamond ``a→b→d``, ``a→c→d`` is an undirected cycle but
+can never orient into a directed one).
+
+Everything here is plain data (node names and directed/undirected
+pairs); the projection onto level representatives and the edge
+provenance live in :mod:`repro.lint.safety`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+Arc = Tuple[str, str]
+
+
+def _strongly_connected_components(
+    nodes: Sequence[str], arcs: Sequence[Arc]
+) -> Dict[str, int]:
+    """Iterative Tarjan SCC over ``arcs``; returns node -> component id.
+
+    Deterministic: roots are visited in ``nodes`` order and successors
+    in insertion order, so component ids are reproducible.
+    """
+    adjacency: Dict[str, List[str]] = {node: [] for node in nodes}
+    for u, v in arcs:
+        adjacency[u].append(v)
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    component: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = 0
+    components = 0
+    for root in nodes:
+        if root in index:
+            continue
+        # (node, iterator position) work list — recursion-free DFS
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, position = work.pop()
+            if position == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            successors = adjacency[node]
+            while position < len(successors):
+                succ = successors[position]
+                position += 1
+                if succ not in index:
+                    work.append((node, position))
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component[member] = components
+                    if member == node:
+                        break
+                components += 1
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return component
+
+
+def mixed_graph_unsafe_reason(
+    forced: Sequence[Arc], free: Sequence[Arc]
+) -> Optional[str]:
+    """Decide whether the mixed multigraph admits a directed cycle.
+
+    ``forced`` are direction-fixed arcs (weak-input edges, recorded
+    direction); ``free`` are undirected edges (conflict edges), given
+    as arbitrary-order endpoint pairs.  Returns ``None`` when **no**
+    orientation of the free edges can close a directed cycle (the
+    level is certified safe), otherwise a short human-readable reason.
+    """
+    nodes: List[str] = []
+    seen: Set[str] = set()
+    for u, v in list(forced) + list(free):
+        for node in (u, v):
+            if node not in seen:
+                seen.add(node)
+                nodes.append(node)
+    arcs: List[Arc] = list(forced)
+    for u, v in free:
+        arcs.append((u, v))
+        arcs.append((v, u))
+    component = _strongly_connected_components(nodes, arcs)
+    for u, v in forced:
+        if component[u] == component[v]:
+            return (
+                f"forced input arc {u}->{v} closes a directed cycle "
+                "(its endpoints are mutually reachable)"
+            )
+    # free edges alone: union-find forest test, parallels count
+    parent: Dict[str, str] = {}
+
+    def find(x: str) -> str:
+        root = x
+        while parent.setdefault(root, root) != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for u, v in free:
+        ru, rv = find(u), find(v)
+        if ru == rv:
+            return (
+                f"free conflict edges form an undirected cycle through "
+                f"{u} and {v} (orientable into a directed cycle)"
+            )
+        parent[ru] = rv
+    return None
+
+
+def find_directed_cycle(arcs: Sequence[Arc]) -> Optional[List[int]]:
+    """A directed cycle in ``arcs``, as a list of arc *indices* in
+    traversal order, or ``None`` when the arc set is acyclic.
+
+    Used by the refuter: the arcs are the multigraph edges under their
+    *recorded* orientations, and the returned indices recover each
+    edge's provenance.  Deterministic (nodes in first-appearance order,
+    arcs in input order).
+    """
+    adjacency: Dict[str, List[Tuple[str, int]]] = {}
+    nodes: List[str] = []
+    for i, (u, v) in enumerate(arcs):
+        if u not in adjacency:
+            adjacency[u] = []
+            nodes.append(u)
+        if v not in adjacency:
+            adjacency[v] = []
+            nodes.append(v)
+        adjacency[u].append((v, i))
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[str, int] = {node: WHITE for node in nodes}
+    for root in nodes:
+        if colour[root] != WHITE:
+            continue
+        # path as (node, arc-index-taken-to-reach-it); root has no arc
+        path: List[Tuple[str, int]] = [(root, -1)]
+        position: List[int] = [0]
+        colour[root] = GREY
+        while path:
+            node, _ = path[-1]
+            successors = adjacency[node]
+            cursor = position[-1]
+            if cursor >= len(successors):
+                colour[node] = BLACK
+                path.pop()
+                position.pop()
+                continue
+            position[-1] = cursor + 1
+            succ, arc_index = successors[cursor]
+            if colour[succ] == GREY:
+                # back edge: unwind the grey path down to ``succ``
+                cycle = [arc_index]
+                for pnode, parc in reversed(path):
+                    if pnode == succ:
+                        break
+                    cycle.append(parc)
+                cycle.reverse()
+                return cycle
+            if colour[succ] == WHITE:
+                colour[succ] = GREY
+                path.append((succ, arc_index))
+                position.append(0)
+    return None

@@ -4,13 +4,19 @@ This module is what the ``composite-tx lint`` command and the chaos
 grid call: it dispatches a document to the right passes by shape,
 aggregates per-file reports, and renders them as text or JSON with the
 exit-code contract (0 = clean, 1 = usage/IO problem, 2 = error
-findings, or any finding under ``--strict``).
+findings, or any finding under ``--strict``; notes never count).
+
+Determinism contract: ``render_json`` serializes through
+:func:`repro.obs.sink.canonical_json_dumps`, and ``lint_paths`` keeps
+reports in file-submission order even under ``workers > 1`` — a
+sharded lint run is byte-identical to a serial one.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -18,10 +24,12 @@ from repro.core.observed import ObservedOrderOptions
 from repro.core.system import CompositeSystem
 from repro.lint.diagnostics import Diagnostic, DiagnosticCollector
 from repro.lint.safety import (
+    SafetyVerdict,
     StaticSafetyReport,
     analyze_system_safety,
     analyze_topology_safety,
 )
+from repro.obs.sink import canonical_json_dumps
 from repro.lint.wellformed import (
     lint_schedules,
     lint_system_document,
@@ -75,6 +83,22 @@ class LintResult:
     @property
     def warning_count(self) -> int:
         return sum(len(r.collector.warnings) for r in self.reports)
+
+    @property
+    def note_count(self) -> int:
+        return sum(len(r.collector.notes) for r in self.reports)
+
+    def verdict_counts(self) -> Dict[str, int]:
+        """``verdict -> documents`` over every report that ran the
+        static safety analysis, in sorted verdict order (the summary
+        the chaos grid and the fleet coordinator fold per shard)."""
+        out: Dict[str, int] = {}
+        for report in self.reports:
+            if report.safety is None:
+                continue
+            key = str(report.safety.verdict)
+            out[key] = out.get(key, 0) + 1
+        return {key: out[key] for key in sorted(out)}
 
     def counts(self) -> Dict[str, int]:
         """``code -> occurrences`` across all reports, sorted by code —
@@ -171,17 +195,38 @@ def _gather_paths(paths: Sequence[str]) -> Tuple[List[str], List[str]]:
     return files, missing
 
 
+def _lint_file_task(
+    task: Tuple[str, Optional[ObservedOrderOptions]]
+) -> FileReport:
+    """Module-level pool target (``lint_file`` takes keyword-only
+    options, which ``ProcessPoolExecutor.map`` cannot pass)."""
+    file, options = task
+    return lint_file(file, options=options)
+
+
 def lint_paths(
     paths: Sequence[str],
     *,
     options: Optional[ObservedOrderOptions] = None,
+    workers: int = 1,
 ) -> Tuple[LintResult, List[str]]:
     """Lint files and directories.  Returns the result plus the list of
-    paths that did not exist (a usage error, exit code 1)."""
+    paths that did not exist (a usage error, exit code 1).
+
+    ``workers > 1`` shards the files over a process pool;
+    ``executor.map`` yields results in submission order, so the
+    aggregate — and therefore the rendered report — is byte-identical
+    to a serial run.
+    """
     files, missing = _gather_paths(paths)
-    reports: List[FileReport] = []
-    for file in files:
-        reports.append(lint_file(file, options=options))
+    if workers > 1 and len(files) > 1:
+        tasks = [(file, options) for file in files]
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(files))
+        ) as pool:
+            reports = list(pool.map(_lint_file_task, tasks))
+        return LintResult(reports=reports), missing
+    reports = [lint_file(file, options=options) for file in files]
     return LintResult(reports=reports), missing
 
 
@@ -211,43 +256,94 @@ def lint_file(
 # ----------------------------------------------------------------------
 # rendering
 # ----------------------------------------------------------------------
-def render_text(result: LintResult, *, strict: bool = False) -> str:
+def _explain_lines(report: FileReport) -> List[str]:
+    """The ``--explain`` provenance chains: every witness cycle (and
+    the refutation, if any) spelled out edge by edge — each
+    :meth:`~repro.lint.safety.SafetyEdge.describe` line is
+    self-locating (``L<level> schedule:source(pair)``)."""
+    safety = report.safety
+    if safety is None:
+        return []
+    lines: List[str] = []
+    if safety.refutation is not None:
+        witness = safety.refutation
+        lines.append(
+            f"  refutation (level {witness.level}): "
+            + " -> ".join(witness.cycle_nodes + witness.cycle_nodes[:1])
+        )
+        for edge in witness.cycle_edges:
+            lines.append(f"    {edge.describe()}")
+        for name in sorted(witness.executions):
+            lines.append(
+                f"    recorded execution {name}: "
+                + " ".join(witness.executions[name])
+            )
+    for witness_level in safety.cycle_witnesses:
+        lines.append(
+            f"  level-{witness_level.level} cycle"
+            + (
+                " (tier-2 certified: cannot orient directed)"
+                if witness_level.orientable is False
+                else ""
+            )
+            + ": "
+            + " -> ".join(witness_level.cycle_nodes)
+        )
+        for edge in witness_level.cycle_edges:
+            lines.append(f"    {edge.describe()}")
+    return lines
+
+
+def render_text(
+    result: LintResult, *, strict: bool = False, explain: bool = False
+) -> str:
     """The human-readable report (deterministic: file order, then
-    collection order)."""
+    collection order).  ``explain`` appends each document's cycle and
+    refutation provenance chains."""
     lines: List[str] = []
     for report in result.reports:
-        if not report.diagnostics:
+        if not report.diagnostics and not (
+            explain and _explain_lines(report)
+        ):
             continue
         header = report.path or "<input>"
         lines.append(f"{header} [{report.kind}]:")
         for diagnostic in report.diagnostics:
             lines.append("  " + diagnostic.render())
-    certified = [
+        if explain:
+            lines.extend(_explain_lines(report))
+    decided = [
         r
         for r in result.reports
-        if r.safety is not None and r.safety.certified
+        if r.safety is not None and (r.safety.certified or r.safety.refuted)
     ]
-    for report in certified:
+    for report in decided:
         lines.append(
             f"{report.path or '<input>'}: {report.safety.summary()}"
         )
     verdict = "FAIL" if result.exit_code(strict=strict) else "OK"
+    notes = f", {result.note_count} note(s)" if result.note_count else ""
     lines.append(
         f"{verdict}: {len(result.reports)} document(s), "
         f"{result.error_count} error(s), {result.warning_count} warning(s)"
+        + notes
         + (" [strict]" if strict else "")
     )
     return "\n".join(lines)
 
 
 def render_json(result: LintResult, *, strict: bool = False) -> str:
-    """The machine-readable report (stable key order)."""
+    """The machine-readable report, canonically serialized
+    (:func:`~repro.obs.sink.canonical_json_dumps`): byte-identical
+    across serial and sharded runs."""
     payload = {
         "files": [r.to_dict() for r in result.reports],
         "counts": result.counts(),
+        "verdicts": result.verdict_counts(),
         "errors": result.error_count,
         "warnings": result.warning_count,
+        "notes": result.note_count,
         "strict": strict,
         "exit_code": result.exit_code(strict=strict),
     }
-    return json.dumps(payload, indent=2, sort_keys=False)
+    return canonical_json_dumps(payload)

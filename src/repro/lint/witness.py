@@ -1,0 +1,140 @@
+"""Replayable refutation certificates (``lint --witness-out``).
+
+A witness file is a schema-versioned, canonically serialized JSON
+document holding every ``CERTIFIED_UNSAFE`` verdict of a lint run,
+each bundled with the *system spec it refutes* — so the certificate is
+self-contained: any build of the checker can re-load the file, replay
+each embedded system through the real Def.-16 engine, and confirm the
+rejection without access to the original inputs.  The CI smoke gate
+does exactly that.
+
+Byte discipline: the document is rendered with
+:func:`repro.obs.sink.canonical_json_dumps` and written with
+:func:`repro.obs.sink.atomic_write_text`, so witness files inherit the
+telemetry sinks' byte-identity and crash-safety contracts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.builder import SystemBuilder
+from repro.core.certificates import replay_refutation
+from repro.exceptions import ParseError
+from repro.io.jsondoc import parse_json_document
+from repro.io.text_format import load, system_to_spec
+from repro.lint.report import LintResult
+from repro.obs.sink import atomic_write_text, canonical_json_dumps
+
+#: bump when the witness document shape changes
+WITNESS_VERSION = 1
+
+
+def build_witness_document(result: LintResult) -> Dict[str, object]:
+    """The witness document for one lint run: every refuted document's
+    witness plus the (round-tripped, normalized) system spec it refutes.
+
+    Documents without a refutation contribute only to the ``verdicts``
+    summary — the file stays small when everything is safe.
+    """
+    refutations: List[Dict[str, object]] = []
+    for report in result.reports:
+        if report.safety is None or report.safety.refutation is None:
+            continue
+        spec: Optional[Dict[str, object]] = None
+        if report.path is not None:
+            # Re-derive the spec through the model (not the raw file
+            # bytes) so the embedded system is normalized and provably
+            # loadable by any build that can replay it.
+            spec = system_to_spec(load(report.path).system)
+        refutations.append(
+            {
+                "path": report.path,
+                "verdict": str(report.safety.verdict),
+                "refutation": report.safety.refutation.to_dict(),
+                "system": spec,
+            }
+        )
+    return {
+        "witness_version": WITNESS_VERSION,
+        "verdicts": result.verdict_counts(),
+        "refutations": refutations,
+    }
+
+
+def write_witness_file(path: str, result: LintResult) -> Dict[str, object]:
+    """Build and atomically write the witness document; returns it."""
+    document = build_witness_document(result)
+    atomic_write_text(path, canonical_json_dumps(document))
+    return document
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """One embedded refutation replayed through the engine."""
+
+    path: Optional[str]
+    level: int
+    rejected: bool
+    description: str
+
+    def describe(self) -> str:
+        status = "REJECTED" if self.rejected else "ACCEPTED (stale witness!)"
+        return f"{self.path or '<input>'}: {status} -- {self.description}"
+
+
+def replay_witness_document(
+    document: Mapping[str, object]
+) -> List[ReplayOutcome]:
+    """Replay every embedded refutation; a sound witness file yields
+    ``rejected=True`` for each entry (the CI smoke gate asserts it)."""
+    version = document.get("witness_version")
+    if version != WITNESS_VERSION:
+        raise ParseError(
+            f"unsupported witness document version {version!r} "
+            f"(this build reads version {WITNESS_VERSION})"
+        )
+    refutations = document.get("refutations")
+    if not isinstance(refutations, list):
+        raise ParseError("witness document has no 'refutations' list")
+    outcomes: List[ReplayOutcome] = []
+    for entry in refutations:
+        if not isinstance(entry, Mapping):
+            raise ParseError("refutation entry is not an object")
+        spec = entry.get("system")
+        if not isinstance(spec, Mapping):
+            raise ParseError(
+                "refutation entry carries no embedded system spec"
+            )
+        refutation = entry.get("refutation")
+        if not isinstance(refutation, Mapping):
+            raise ParseError("refutation entry carries no witness")
+        level = int(refutation["level"])  # type: ignore[call-overload]
+        system = SystemBuilder.from_spec(dict(spec)).build()
+        replay = replay_refutation(system, level)
+        outcomes.append(
+            ReplayOutcome(
+                path=(
+                    str(entry["path"])
+                    if entry.get("path") is not None
+                    else None
+                ),
+                level=level,
+                rejected=replay.failure is not None,
+                description=(
+                    replay.failure.describe()
+                    if replay.failure is not None
+                    else "replay accepted the recorded execution"
+                ),
+            )
+        )
+    return outcomes
+
+
+def replay_witness_file(path: str) -> List[ReplayOutcome]:
+    """Load a witness file and replay every embedded refutation."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    document = parse_json_document(text, source=path, expect_object=True)
+    return replay_witness_document(document)

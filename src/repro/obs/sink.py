@@ -105,6 +105,22 @@ def dumps_events(events: Iterable[TelemetryEvent]) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+def canonical_json_dumps(value: Any) -> str:
+    """Render an arbitrary JSON-ready value canonically: sorted keys,
+    compact separators, UTF-8 kept literal, one trailing newline.
+
+    This is the byte-identity workhorse for *documents* (lint reports,
+    refutation witness certificates) the way :func:`canonical_dumps` is
+    for telemetry streams: any two processes serializing the same value
+    — serial or ``--workers N`` — produce the same bytes.
+    """
+    return (
+        json.dumps(value, sort_keys=True, separators=(",", ":"),
+                   ensure_ascii=False)
+        + "\n"
+    )
+
+
 def atomic_write_text(path: str, text: str) -> None:
     """Write ``text`` to ``path`` atomically (write, fsync, rename).
 

@@ -49,6 +49,10 @@ class Metrics:
     #: correctness checks answered by the static safety certificate
     #: alone (``--static-precheck``), with the reduction skipped
     static_precheck_skips: int = 0
+    #: correctness checks answered by the static *refuter* — a
+    #: replay-validated CERTIFIED_UNSAFE witness — with the reduction
+    #: skipped in the rejecting direction
+    static_refute_skips: int = 0
 
     # ------------------------------------------------------------------
     # recording (engine-side API)
@@ -178,6 +182,7 @@ class Metrics:
             "p50_response_time": round(self.percentile_response_time(50), 4),
             "p95_response_time": round(self.percentile_response_time(95), 4),
             "static_precheck_skips": self.static_precheck_skips,
+            "static_refute_skips": self.static_refute_skips,
         }
         return out
 

@@ -145,6 +145,33 @@ class TestCoordinatorSimulated:
         assert coordinator.outcomes[0].result == 0
         assert coordinator.report.duplicates_discarded == 1
 
+    def test_verdict_counts_fold_once_per_delivery(self):
+        """Results carrying ``safety_verdicts`` (chaos runs) fold onto
+        the report exactly once — duplicates never double-count."""
+        from repro.analysis.protocols import ChaosRun
+
+        coordinator, _ = _sim_coordinator(2, shard_size=2)
+        handle = _sim_worker(coordinator)
+        coordinator._assign_ready_shards()
+        run = ChaosRun(
+            commits=1, gave_up=0, throughput=1.0, abort_rate=0.0,
+            availability=1.0, discarded_operations=0,
+            aborts_by_reason={}, faults_injected={}, assembled=True,
+            comp_c=True, safety_verdicts={"certified_safe": 1},
+        )
+        outcome = _TaskOutcome(0, run, [], None)
+        assert coordinator.note_result(handle, 0, "fp", 0, outcome)
+        assert coordinator.report.verdicts == {"certified_safe": 1}
+        replay = _TaskOutcome(0, run, [], None)
+        assert not coordinator.note_result(handle, 0, "fp", 0, replay)
+        assert coordinator.report.verdicts == {"certified_safe": 1}
+        assert "verdicts: certified_safe:1" in coordinator.report.render()
+        # plain results without the attribute leave the fold untouched
+        assert coordinator.note_result(
+            handle, 0, "fp", 1, _TaskOutcome(1, 1, [], None)
+        )
+        assert coordinator.report.verdicts == {"certified_safe": 1}
+
     def test_stale_fingerprint_is_discarded_not_fatal(self):
         coordinator, _ = _sim_coordinator(2, shard_size=2)
         handle = _sim_worker(coordinator)

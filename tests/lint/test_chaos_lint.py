@@ -28,6 +28,11 @@ def test_chaos_points_carry_lint_counts():
     point = merge_chaos_runs("stack2", "cc", 0.5, [run, run])
     for code, count in run.lint_codes.items():
         assert point.lint_codes[code] == 2 * count
+    if run.assembled:
+        # exactly one verdict per assembled run, folded like lint codes
+        assert sum(run.safety_verdicts.values()) == 1
+        for verdict, count in run.safety_verdicts.items():
+            assert point.safety_verdicts[verdict] == 2 * count
 
 
 def test_lint_breakdown_rendering():
@@ -43,6 +48,16 @@ def test_lint_breakdown_rendering():
         availability=1.0, lint_codes={"CTX301": 2, "CTX111": 1},
     )
     assert busy.lint_breakdown() == "CTX111:1 CTX301:2"  # sorted by code
+    assert busy.verdict_breakdown() == "-"
+    verdicts = ChaosPoint(
+        protocol="cc", topology="t", intensity=1.0, runs=3,
+        commits=3, gave_up=0, throughput=1.0, abort_rate=0.0,
+        availability=1.0,
+        safety_verdicts={
+            "unknown": 1, "certified_safe": 1, "certified_unsafe": 1
+        },
+    )
+    assert verdicts.verdict_breakdown() == "safe:1 unsafe:1 unknown:1"
 
 
 def test_sharded_grid_is_bit_identical_to_serial():
@@ -56,3 +71,19 @@ def test_sharded_grid_is_bit_identical_to_serial():
     [point] = serial
     assert point.assembled_runs > 0  # the lint path actually ran
     assert point.lint_codes == sharded[0].lint_codes
+    # the verdict fold is part of the bit-identity contract too
+    assert point.safety_verdicts == sharded[0].safety_verdicts
+    assert sum(point.safety_verdicts.values()) == point.assembled_runs
+
+
+def test_static_precheck_grid_matches_plain_grid():
+    """``chaos --static-precheck`` must not change a single verdict:
+    the two-sided skip agrees with the full reduction on every cell."""
+    spec = stack_topology(2)
+    kwargs = dict(intensity=0.5, clients=2, transactions_per_client=4)
+    plain = chaos_grid(spec, ("cc", "to"), (0, 1), workers=1, **kwargs)
+    prechecked = chaos_grid(
+        spec, ("cc", "to"), (0, 1), workers=1,
+        static_precheck=True, **kwargs
+    )
+    assert plain == prechecked

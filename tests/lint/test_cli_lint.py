@@ -33,6 +33,15 @@ WARNING_DOC = """{
 
 ERROR_DOC = '{"schedules": {"S": {"transactions": {"T": ["x", "x"]}}}}'
 
+#: errors via the refuter: the lost-update execution (CTX310)
+REFUTED_DOC = """{
+  "schedules": {
+    "S1": {"transactions": {"T1": ["a", "b"], "T2": ["c"]},
+           "conflicts": [["a", "c"], ["c", "b"]],
+           "executed": ["a", "c", "b"]}
+  }
+}"""
+
 
 @pytest.fixture()
 def clean_file(tmp_path):
@@ -144,3 +153,80 @@ def test_examples_directory_is_lint_clean_under_strict(capsys):
     assert main(["lint", str(REPO / "examples"), "--strict"]) == 0
     out = capsys.readouterr().out
     assert out.startswith(("OK", str(REPO)))
+
+
+# ----------------------------------------------------------------------
+# verdict tier surface: --witness-out, --explain, --workers
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def refuted_file(tmp_path):
+    path = tmp_path / "refuted.json"
+    path.write_text(REFUTED_DOC, encoding="utf-8")
+    return str(path)
+
+
+def test_refuted_file_exits_two_without_strict(refuted_file, capsys):
+    assert main(["lint", refuted_file]) == 2
+    out = capsys.readouterr().out
+    assert "CTX310" in out
+    assert "statically refuted" in out
+    assert "FAIL" in out
+
+
+def test_witness_out_writes_a_replayable_document(
+    refuted_file, tmp_path, capsys
+):
+    witness = tmp_path / "witness.json"
+    assert (
+        main(["lint", refuted_file, "--witness-out", str(witness)]) == 2
+    )
+    assert "witness document written" in capsys.readouterr().err
+    from repro.lint import WITNESS_VERSION, replay_witness_file
+
+    payload = json.loads(witness.read_text(encoding="utf-8"))
+    assert payload["witness_version"] == WITNESS_VERSION
+    assert payload["verdicts"] == {"certified_unsafe": 1}
+    [outcome] = replay_witness_file(str(witness))
+    assert outcome.rejected
+
+
+def test_witness_out_written_even_when_clean(clean_file, tmp_path, capsys):
+    witness = tmp_path / "witness.json"
+    assert main(["lint", clean_file, "--witness-out", str(witness)]) == 0
+    capsys.readouterr()
+    payload = json.loads(witness.read_text(encoding="utf-8"))
+    assert payload["refutations"] == []
+    assert payload["verdicts"] == {"certified_safe": 1}
+
+
+def test_explain_prints_edge_provenance(refuted_file, capsys):
+    assert main(["lint", refuted_file, "--explain"]) == 2
+    out = capsys.readouterr().out
+    # the golden SafetyEdge.describe() chain, level-prefixed
+    assert "L1 S1:conflict(a, c)" in out
+    assert "L1 S1:conflict(b, c)" in out
+    assert "recorded execution S1: a c b" in out
+
+
+def test_workers_output_is_byte_identical(tmp_path, capsys):
+    (tmp_path / "a.json").write_text(REFUTED_DOC, encoding="utf-8")
+    (tmp_path / "b.json").write_text(WARNING_DOC, encoding="utf-8")
+    (tmp_path / "c.json").write_text(CLEAN_DOC, encoding="utf-8")
+    code = main(["lint", str(tmp_path), "--format", "json"])
+    serial = capsys.readouterr().out
+    assert main(
+        ["lint", str(tmp_path), "--format", "json", "--workers", "2"]
+    ) == code
+    sharded = capsys.readouterr().out
+    assert serial == sharded
+    payload = json.loads(serial)
+    assert payload["verdicts"] == {
+        "certified_safe": 1,
+        "certified_unsafe": 1,
+        "unknown": 1,
+    }
+    # the canonical-JSON contract: one compact sorted line
+    assert serial == serial.strip() + "\n"
+    assert '": ' not in serial

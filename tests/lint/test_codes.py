@@ -243,12 +243,15 @@ _DOCUMENTS = {
     },
     "CTX222": {"levels": {"A": 1}, "invokes": {"A": []},
                "root_schedules": []},
+    # executed a,b,c: both conflict pairs record the same direction
+    # (T1 before T2), so the refuter finds no directed cycle and the
+    # multigraph cycle stays a CTX301 warning
     "CTX301": {
         "schedules": {
             "S1": {
                 "transactions": {"T1": ["a", "b"], "T2": ["c"]},
                 "conflicts": [["a", "c"], ["c", "b"]],
-                "executed": ["a", "c", "b"],
+                "executed": ["a", "b", "c"],
             }
         }
     },
@@ -263,6 +266,22 @@ _DOCUMENTS = {
     },
     "CTX304": {"version": 1, "succeeded": True, "failure": {"level": 0}},
     "CTX305": {},
+    # any cycle-free system: the prover declines under seed_leaf_order
+    # (the trigger runs lint_document with those options, see _trigger)
+    "CTX306": {
+        "schedules": {"S": {"transactions": {"T1": ["a"], "T2": ["b"]}}}
+    },
+    # the lost-update shape executed a,c,b: the recorded orientations
+    # close a directed cycle and the replay rejects -> CERTIFIED_UNSAFE
+    "CTX310": {
+        "schedules": {
+            "S1": {
+                "transactions": {"T1": ["a", "b"], "T2": ["c"]},
+                "conflicts": [["a", "c"], ["c", "b"]],
+                "executed": ["a", "c", "b"],
+            }
+        }
+    },
 }
 
 # CTX4xx codes are raised by the hardened repro.io document loaders
@@ -300,6 +319,14 @@ def _trigger(code: str) -> Set[str]:
         )
     if code in _RAW_TEXTS:
         return _raw_text_codes(_RAW_TEXTS[code])
+    if code == "CTX306":
+        from repro.core.observed import ObservedOrderOptions
+
+        report = lint_document(
+            _DOCUMENTS[code],
+            options=ObservedOrderOptions(seed_leaf_order=True),
+        )
+        return {d.code for d in report.diagnostics}
     return _document_codes(_DOCUMENTS[code])
 
 
@@ -322,11 +349,14 @@ def test_every_code_has_a_trigger(code):
 def test_registry_severities():
     warnings = {code for code, (sev, _) in CODES.items()
                 if sev is Severity.WARNING}
+    notes = {code for code, (sev, _) in CODES.items()
+             if sev is Severity.NOTE}
     assert warnings == {"CTX111", "CTX301"}
+    assert notes == {"CTX306"}
     assert all(
         CODES[code][0] is Severity.ERROR
         for code in CODES
-        if code not in warnings
+        if code not in warnings | notes
     )
 
 

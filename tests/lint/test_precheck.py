@@ -80,12 +80,43 @@ def test_correctness_report_carries_no_witness_when_skipped(
     assert full.serial_witness
 
 
-def test_declined_system_falls_back_to_full_reduction():
-    system = _lost_update_system()
+def _unresolved_cycle_system():
+    """The lost-update *shape* around an accepted execution: the
+    multigraph has an orientable cycle but the recorded orientations
+    close no directed cycle — neither certified nor refuted, so the
+    precheck must fall back to the full reduction."""
+    b = SystemBuilder()
+    b.schedule("S1")
+    b.transaction("T1", "S1", ["a", "b"])
+    b.transaction("T2", "S1", ["c"])
+    b.conflict("S1", "a", "c")
+    b.conflict("S1", "c", "b")
+    b.executed("S1", ["a", "b", "c"])
+    return b.build()
+
+
+def test_unknown_system_falls_back_to_full_reduction():
+    system = _unresolved_cycle_system()
     result = reduce_to_roots(system, static_precheck=True)
     assert not result.skipped_by_precheck
+    assert not result.skipped_by_refutation
     assert result.static_certificate is not None
     assert not result.static_certificate.certified
+    assert not result.static_certificate.refuted
+    assert result.succeeded == reduce_to_roots(system).succeeded
+    assert is_composite_correct(system, static_precheck=True) == (
+        is_composite_correct(system)
+    )
+
+
+def test_refuted_system_skips_in_the_rejecting_direction():
+    system = _lost_update_system()
+    result = reduce_to_roots(system, static_precheck=True)
+    assert not result.succeeded
+    assert result.skipped_by_refutation
+    assert not result.skipped_by_precheck
+    assert result.static_certificate is not None
+    assert result.static_certificate.refuted
     assert result.succeeded == reduce_to_roots(system).succeeded
     assert is_composite_correct(system, static_precheck=True) == (
         is_composite_correct(system)
@@ -105,6 +136,18 @@ def test_trace_round_trip_preserves_skip(certified_system):
     assert trace.static_certificate["witnesses"]
 
 
+def test_refuted_trace_round_trip_preserves_skip():
+    result = reduce_to_roots(_lost_update_system(), static_precheck=True)
+    trace = loads_trace(dumps_trace(result))
+    assert not trace.succeeded
+    assert trace.fronts == []
+    [profile] = trace.profile
+    assert profile.skipped
+    assert trace.static_certificate is not None
+    assert trace.static_certificate["verdict"] == "certified_unsafe"
+    assert trace.static_certificate["refutation"]["level"] == 1
+
+
 def test_unskipped_trace_has_no_certificate(certified_system):
     result = reduce_to_roots(certified_system)
     trace = loads_trace(dumps_trace(result))
@@ -117,6 +160,13 @@ def test_metrics_counts_precheck_skips():
     assert metrics.summary()["static_precheck_skips"] == 0
     metrics.static_precheck_skips += 3
     assert metrics.summary()["static_precheck_skips"] == 3
+
+
+def test_metrics_counts_refute_skips():
+    metrics = Metrics()
+    assert metrics.summary()["static_refute_skips"] == 0
+    metrics.static_refute_skips += 2
+    assert metrics.summary()["static_refute_skips"] == 2
 
 
 def test_cli_check_static_precheck(capsys):

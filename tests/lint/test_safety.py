@@ -33,14 +33,14 @@ from repro.workloads.topologies import (
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "lint"
 
 
-def _lost_update_system():
+def _lost_update_system(executed=("a", "c", "b")):
     b = SystemBuilder()
     b.schedule("S1")
     b.transaction("T1", "S1", ["a", "b"])
     b.transaction("T2", "S1", ["c"])
     b.conflict("S1", "a", "c")
     b.conflict("S1", "c", "b")
-    b.executed("S1", ["a", "c", "b"])
+    b.executed("S1", list(executed))
     return b.build()
 
 
@@ -49,20 +49,50 @@ def _lost_update_system():
 # ----------------------------------------------------------------------
 
 
-def test_lost_update_shape_is_not_certified():
+def test_lost_update_shape_is_refuted():
+    """Executed a,c,b the recorded orientations close a directed cycle
+    and the replay rejects: CERTIFIED_UNSAFE with a witness."""
     report = prove_static_safety(_lost_update_system())
+    assert report.refuted
     assert not report.certified
-    assert "potential conflict cycle" in report.summary()
+    assert "statically refuted" in report.summary()
     [witness] = report.cycle_witnesses
     assert witness.level == 1  # parallel T1--T2 edges
     assert not witness.forest
-    assert len(witness.cycle_edges) >= 2
-    assert {e.source for e in witness.cycle_edges} == {"conflict"}
+    assert witness.orientable is True
+    assert report.refutation is not None
+    assert report.refutation.level == 1
+    assert {e.source for e in report.refutation.cycle_edges} == {"conflict"}
+    assert report.refutation.failure["level"] == 1
+    # the witness pins the recorded execution it refutes
+    assert report.refutation.executions["S1"] == ("a", "c", "b")
+
+
+def test_lost_update_variant_stays_unknown():
+    """Executed a,b,c both conflict pairs record the same direction:
+    no directed cycle under the recorded orientations, so the
+    multigraph cycle stays an unresolved warning."""
+    report = prove_static_safety(_lost_update_system(("a", "b", "c")))
+    assert not report.certified and not report.refuted
+    assert "potential conflict cycle" in report.summary()
+    assert report.refutation is None
+    # and the reduction indeed accepts this execution
+    assert reduce_to_roots(_lost_update_system(("a", "b", "c"))).succeeded
+
+
+def test_refuted_system_becomes_ctx310_error():
+    collector = DiagnosticCollector()
+    analyze_system_safety(collector, _lost_update_system())
+    [error] = collector.errors
+    assert error.code == "CTX310"
+    assert "T1" in error.message and "T2" in error.message
+    assert "replay" in error.message
+    assert not collector.warnings  # the refuted level is not re-warned
 
 
 def test_cycle_witness_becomes_ctx301_warning():
     collector = DiagnosticCollector()
-    analyze_system_safety(collector, _lost_update_system())
+    analyze_system_safety(collector, _lost_update_system(("a", "b", "c")))
     assert not collector.has_errors()
     [warning] = collector.warnings
     assert warning.code == "CTX301"
@@ -86,6 +116,8 @@ def test_report_round_trips_to_dict():
     report = prove_static_safety(_lost_update_system())
     payload = report.to_dict()
     assert payload["certified"] is False
+    assert payload["verdict"] == "certified_unsafe"
+    assert payload["declined"] is False
     levels = [w["level"] for w in payload["witnesses"]]
     assert levels == sorted(levels)
     cycle = next(w for w in payload["witnesses"] if not w["forest"])
@@ -93,6 +125,23 @@ def test_report_round_trips_to_dict():
     for edge in cycle["cycle_edges"]:
         assert edge["source"] in ("conflict", "input")
         assert len(edge["pair"]) == 2
+        assert edge["level"] == cycle["level"]
+    refutation = payload["refutation"]
+    assert refutation["level"] == 1
+    assert refutation["executions"]["S1"] == ["a", "c", "b"]
+    assert refutation["failure"]["description"]
+
+
+def test_safety_edge_describe_is_self_locating():
+    """Golden output: every edge names its level, so --explain chains
+    read without cross-referencing the surrounding report."""
+    report = prove_static_safety(_lost_update_system())
+    [witness] = report.cycle_witnesses
+    rendered = sorted(e.describe() for e in witness.cycle_edges)
+    assert rendered == [
+        "L1 S1:conflict(a, c)",
+        "L1 S1:conflict(b, c)",
+    ]
 
 
 def test_prover_declines_seed_leaf_order():
@@ -100,11 +149,17 @@ def test_prover_declines_seed_leaf_order():
     options = ObservedOrderOptions(seed_leaf_order=True)
     report = prove_static_safety(recorded.system, options)
     assert not report.certified
+    assert report.declined
     assert "seed_leaf_order" in report.reason
-    # the decline produces no CTX301 noise
+    # the decline is visible as exactly one CTX306 note -- never as an
+    # error or warning (notes do not affect exit codes)
     collector = DiagnosticCollector()
     analyze_system_safety(collector, recorded.system, options)
-    assert len(collector) == 0
+    assert len(collector) == 1
+    [note] = collector.notes
+    assert note.code == "CTX306"
+    assert "seed_leaf_order" in note.message
+    assert not collector.errors and not collector.warnings
 
 
 def test_topology_diamond_warns_tree_does_not():
@@ -140,10 +195,12 @@ _SPECS = [
 @pytest.mark.parametrize("spec", _SPECS, ids=lambda s: s.name)
 def test_precheck_agrees_with_reduction_on_generated_systems(spec):
     """100 seeds per topology (500 systems over the suite): the
-    precheck verdict equals the full verdict under both engines, every
-    certificate is backed by a successful reduction, and the certified
-    population is non-empty (the property is not vacuous)."""
+    precheck verdict equals the full verdict under both engines — in
+    *both* skip directions — every certificate is backed by a
+    successful reduction, every refutation by a rejected one, and the
+    certified population is non-empty (the property is not vacuous)."""
     certified = 0
+    refuted = 0
     for seed in range(100):
         config = WorkloadConfig(
             seed=seed,
@@ -161,6 +218,14 @@ def test_precheck_agrees_with_reduction_on_generated_systems(spec):
             assert prechecked.succeeded
             assert prechecked.skipped_by_precheck
             assert reduce_to_roots(system).succeeded  # incremental, no skip
+        elif report.refuted:
+            refuted += 1
+            assert not prechecked.succeeded
+            assert prechecked.skipped_by_refutation
+            assert not prechecked.skipped_by_precheck
+            assert scratch.failure is not None
         else:
             assert not prechecked.skipped_by_precheck
+            assert not prechecked.skipped_by_refutation
     assert certified > 0, f"no {spec.name} workload was ever certified"
+    assert refuted > 0, f"no {spec.name} workload was ever refuted"
