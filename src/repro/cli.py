@@ -14,6 +14,8 @@ experiment  run one of the paper-artifact experiments (t1..t4, h1, p2, a1)
 compare     Def.-18 front equivalence of two saved executions
 report      run every experiment, write one Markdown report
 profile     render a telemetry JSONL file into per-phase time tables
+eventlog    convert a saved execution into a streaming JSONL event log
+watch       tail an event log through the incremental Comp-C checker
 resume      continue a killed run from its --checkpoint-out file
 
 ``check``, ``simulate``, ``chaos`` and ``experiment`` accept
@@ -638,10 +640,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    from repro.obs import salvage_records, validate_records
+    from repro.obs import TornTail, iter_records, validate_records
     from repro.obs.profile import render_profile
 
-    records, torn = salvage_records(args.file)
+    # Stream the records instead of slurping: a sink a live run is
+    # still appending to reads cleanly, its torn tail tolerated.
+    torn_box: List[TornTail] = []
+    records = list(iter_records(args.file, on_torn=torn_box.append))
+    torn = torn_box[0] if torn_box else None
     if torn is not None:
         print(f"warning: {torn.describe()}", file=sys.stderr)
     problems = validate_records(records)
@@ -662,6 +668,71 @@ def cmd_profile(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     print(render_profile(records, top=args.top))
+    return 0
+
+
+def cmd_eventlog(args: argparse.Namespace) -> int:
+    from repro.io.eventlog import events_from_recorded, save_event_log
+
+    recorded = load(args.file)
+    events = events_from_recorded(recorded)
+    save_event_log(events, args.output)
+    print(
+        f"{args.output}: {len(events)} events "
+        f"({len(recorded.system.roots)} roots, "
+        f"{len(recorded.system.leaves)} leaf operations)"
+    )
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.obs import current
+    from repro.stream import EventLogTail, IncrementalChecker
+
+    checker = IncrementalChecker()
+    tail = EventLogTail(args.file)
+    last_status: Optional[str] = None
+    try:
+        while True:
+            batch = tail.poll()
+            for tailed in batch:
+                verdict = checker.ingest(tailed.event)
+                if tailed.offset <= args.from_offset:
+                    # catch-up below the resume offset: state is
+                    # rebuilt, transitions are not re-announced
+                    last_status = verdict.status
+                    continue
+                if verdict.status != last_status:
+                    last_status = verdict.status
+                    print(f"[offset {tailed.offset}] {verdict.describe()}")
+                if checker.ended:
+                    break
+            if checker.ended:
+                break
+            if not batch:
+                if not args.follow:
+                    break
+                _time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("interrupted; certifying the prefix seen so far",
+              file=sys.stderr)
+    result = checker.finalize()
+    current().absorb(checker.telemetry.collect())
+    if result.reduction is None:
+        print(f"{args.file}: no committed roots; nothing to check")
+        return 0
+    print()
+    print(banner("final verdict (batch-certified)"))
+    print(result.reduction.narrative())
+    verdict = result.verdict
+    print(
+        f"stream: {verdict.events} event(s), {verdict.commits} "
+        f"commit(s); resume offset {tail.offset}"
+    )
+    if args.strict and verdict.rejected:
+        return 2
     return 0
 
 
@@ -939,6 +1010,52 @@ def build_parser() -> argparse.ArgumentParser:
         "(status 1 on any violation)",
     )
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "eventlog",
+        help="convert a saved execution (JSON) into a streaming JSONL "
+        "event log for `composite-tx watch`",
+    )
+    p.add_argument("file", help="saved execution (see `generate`)")
+    p.add_argument("output", help="event log path (JSONL)")
+    p.set_defaults(func=cmd_eventlog)
+
+    p = sub.add_parser(
+        "watch",
+        help="stream an event log through the incremental Comp-C "
+        "checker: live verdict transitions, batch-certified final "
+        "verdict",
+    )
+    p.add_argument("file", help="JSONL event log (may still be growing)")
+    p.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep tailing after EOF until an `end` event arrives "
+        "(torn tails are waited out, not errors)",
+    )
+    p.add_argument(
+        "--from-offset",
+        type=int,
+        default=0,
+        metavar="BYTES",
+        help="suppress re-announcing transitions at or below this byte "
+        "offset (printed as `resume offset` by a previous watch); the "
+        "checker still replays the whole log to rebuild its state",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="poll interval while following (default 0.2s)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 2 when the stream is rejected",
+    )
+    _add_telemetry_option(p)
+    p.set_defaults(func=cmd_watch)
 
     p = sub.add_parser(
         "resume",

@@ -70,6 +70,25 @@ class Front:
                     )
 
     # ------------------------------------------------------------------
+    @classmethod
+    def level0(cls, nodes: Tuple[str, ...], observed: Relation) -> "Front":
+        """The level-0 front over ``nodes`` with a caller-supplied
+        (closed) observed order and the empty input orders Def. 15
+        prescribes — no schedule has contributed input orders yet at
+        the leaves.  This is the injection point of the streaming
+        checker: it maintains the leaf observed order incrementally
+        across commits and hands the finished relation to
+        :meth:`repro.core.reduction.ReductionEngine.run` via its
+        ``level0`` parameter instead of re-closing it from scratch.
+        """
+        return cls(
+            level=0,
+            nodes=nodes,
+            observed=observed,
+            input_weak=Relation(elements=nodes),
+            input_strong=Relation(elements=nodes),
+        )
+
     def combined_order(self) -> Relation:
         """``<_o ∪ →`` — the relation Def. 13 requires to be acyclic."""
         return self.observed.union(self.input_weak)

@@ -871,6 +871,26 @@ class Relation:
                 new &= new - 1
         return False
 
+    def first_self_loop(self) -> Optional[Element]:
+        """The first element (carrier order) with ``x R x``, or ``None``.
+
+        In a **transitively closed** relation (the invariant
+        :meth:`transitive_closure` / :meth:`add_closed` maintain:
+        ``x R x`` exactly when ``x`` lies on a cycle) this is an O(V)
+        acyclicity probe — one bit test per row instead of a full
+        traversal.  The streaming checker uses it as its per-commit
+        rejection gate on the maintained level-0 observed order: once a
+        delta closes a cycle, some row gains its own bit and every later
+        extension keeps it (closed relations only grow), so a ``None``
+        here certifies the front's observed order acyclic without a
+        :meth:`find_cycle` pass.  On a relation that is *not* closed the
+        result only reports literal self-loops.
+        """
+        for i, row in enumerate(self._rows):
+            if (row >> i) & 1:
+                return self._nodes[i]
+        return None
+
     # ------------------------------------------------------------------
     # order-theoretic properties
     # ------------------------------------------------------------------

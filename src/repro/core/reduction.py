@@ -477,9 +477,21 @@ class ReductionEngine:
         *,
         stop_level: Optional[int] = None,
         static_precheck: bool = False,
+        level0: Optional[Front] = None,
     ) -> ReductionResult:
         """Run the reduction up to ``stop_level`` (default: the system
         order ``N``, i.e. all the way to the roots).
+
+        ``level0`` injects a pre-built level-0 front instead of calling
+        :meth:`level0_front` — the streaming checker maintains the leaf
+        observed order across commits with
+        :meth:`~repro.core.orders.Relation.add_closed` deltas and feeds
+        it here, skipping the from-scratch seed-and-close step that
+        dominates the per-commit cost.  The injected front must cover
+        exactly the system's leaves with a transitively closed observed
+        order; the usual conflict-consistency check still runs on it,
+        so verdicts cannot depend on the caller's maintenance being
+        trusted.
 
         ``static_precheck`` consults the two-sided static analysis of
         :mod:`repro.lint.safety` first and skips the reduction in
@@ -538,7 +550,20 @@ class ReductionEngine:
             )
         with tele.span("reduce.level", level=0) as span:
             before = closure_counters()
-            front = self.level0_front()
+            if level0 is None:
+                front = self.level0_front()
+            else:
+                if level0.level != 0:
+                    raise ReductionError(
+                        f"injected front has level {level0.level}, "
+                        "expected 0"
+                    )
+                if set(level0.nodes) != set(self.system.leaves):
+                    raise ReductionError(
+                        "injected level-0 front does not cover the "
+                        "system's leaves"
+                    )
+                front = level0
             tele.count("reduce.cc_check")
             cycle = front.consistency_violation()
             self._note_level(span, front, before)

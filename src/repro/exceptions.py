@@ -99,6 +99,19 @@ class ReductionError(CompositeTxError):
     """
 
 
+class StreamError(CompositeTxError):
+    """An event stream was malformed or arrived out of protocol.
+
+    Raised by the streaming checker for protocol violations — a commit
+    of a root that never declared transactions, events before the
+    header, a live/batch verdict disagreement (which would falsify the
+    streaming equivalence invariant) — never for *incorrect* composite
+    executions, which are reported through the live verdict exactly
+    like the batch path reports them through
+    :class:`repro.core.correctness.CorrectnessReport`.
+    """
+
+
 class SimulationError(CompositeTxError):
     """The discrete-event simulator reached an inconsistent state."""
 

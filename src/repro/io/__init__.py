@@ -1,5 +1,19 @@
-"""Persistence: JSON text format for composite executions and traces."""
+"""Persistence: JSON text format for composite executions, reduction
+traces, and streaming event logs."""
 
+from repro.io.eventlog import (
+    EVENTLOG_VERSION,
+    Event,
+    dumps_event,
+    dumps_event_log,
+    event_from_dict,
+    event_to_dict,
+    events_from_recorded,
+    load_event_log,
+    loads_event_log,
+    parse_event_line,
+    save_event_log,
+)
 from repro.io.text_format import dumps, load, loads, save, system_to_spec
 from repro.io.trace import (
     ReductionTrace,
@@ -18,6 +32,17 @@ __all__ = [
     "loads",
     "save",
     "system_to_spec",
+    "EVENTLOG_VERSION",
+    "Event",
+    "dumps_event",
+    "dumps_event_log",
+    "event_from_dict",
+    "event_to_dict",
+    "events_from_recorded",
+    "load_event_log",
+    "loads_event_log",
+    "parse_event_line",
+    "save_event_log",
     "ReductionTrace",
     "diff_traces",
     "dumps_trace",

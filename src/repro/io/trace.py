@@ -13,6 +13,17 @@ included), so a saved trace can be re-validated and diffed against a
 fresh run without the original execution file.  Every document carries
 ``TRACE_VERSION`` and loading rejects unknown versions instead of
 misreading them.
+
+Version history
+---------------
+``2``
+    adds the explicit ``skip`` field: ``null`` for a fully-reduced run,
+    ``{"direction": "precheck"}`` / ``{"direction": "refutation"}``
+    when the verdict came from the static prover alone.  Version-1
+    traces encoded precheck skips as ``"serial_witness": null`` —
+    indistinguishable from a dropped witness — and lost the
+    refutation-skip state entirely; they are still loadable, with the
+    skip inferred from the certificate.
 """
 
 from __future__ import annotations
@@ -28,7 +39,7 @@ from repro.core.reduction import LevelProfile, ReductionResult
 from repro.exceptions import ParseError
 from repro.io.jsondoc import parse_json_document
 
-TRACE_VERSION = 1
+TRACE_VERSION = 2
 
 
 def _front_to_dict(front: Front) -> Dict:
@@ -66,8 +77,17 @@ def trace_to_dict(result: ReductionResult) -> Dict:
     }
     if result.static_certificate is not None:
         document["static_certificate"] = result.static_certificate.to_dict()
+    if result.skipped_by_precheck:
+        document["skip"] = {"direction": "precheck"}
+    elif result.skipped_by_refutation:
+        document["skip"] = {"direction": "refutation"}
+    else:
+        document["skip"] = None
     if result.succeeded:
         if result.skipped_by_precheck:
+            # No reduction ran, so there is no witness to record; the
+            # explicit ``skip`` above is what says so (in version 1
+            # this ``null`` was the only — ambiguous — marker).
             document["serial_witness"] = None
         else:
             document["serial_witness"] = result.serial_order()
@@ -115,6 +135,21 @@ class ReductionTrace:
     #: the static prover's report (plain dict) when the producing run
     #: used ``static_precheck``; ``None`` otherwise
     static_certificate: Optional[Dict] = None
+    #: ``{"direction": "precheck" | "refutation"}`` when the verdict
+    #: came from the static prover alone; ``None`` when the reduction
+    #: actually ran (inferred for version-1 traces)
+    skip: Optional[Dict] = None
+
+    @property
+    def skipped_by_precheck(self) -> bool:
+        return self.skip is not None and self.skip.get("direction") == "precheck"
+
+    @property
+    def skipped_by_refutation(self) -> bool:
+        return (
+            self.skip is not None
+            and self.skip.get("direction") == "refutation"
+        )
 
     def level(self, level: int) -> Front:
         for front in self.fronts:
@@ -142,6 +177,36 @@ def _front_from_dict(document: Dict) -> Front:
     return front
 
 
+def _infer_v1_skip(document: Dict) -> Optional[Dict]:
+    """Recover the skip state a version-1 trace only implied.
+
+    Version 1 had no ``skip`` field: a precheck-skipped accept was the
+    pattern (succeeded, no fronts, certified certificate, null
+    witness), and a refutation skip (succeeded=False, no fronts,
+    certificate verdict ``certified_unsafe``) was not distinguishable
+    from a trace whose fronts were simply stripped — we trust the
+    certificate here, which a reduction-produced rejection never
+    carries with that verdict.
+    """
+    if document.get("fronts"):
+        return None
+    certificate = document.get("static_certificate")
+    if not certificate:
+        return None
+    if (
+        document.get("succeeded")
+        and certificate.get("certified")
+        and document.get("serial_witness") is None
+    ):
+        return {"direction": "precheck"}
+    if (
+        not document.get("succeeded")
+        and certificate.get("verdict") == "certified_unsafe"
+    ):
+        return {"direction": "refutation"}
+    return None
+
+
 def trace_from_dict(document: Dict) -> ReductionTrace:
     """Rebuild a :class:`ReductionTrace` from a trace dictionary.
 
@@ -150,11 +215,14 @@ def trace_from_dict(document: Dict) -> ReductionTrace:
     verdict contradicts its reloaded relations.
     """
     version = document.get("version")
-    if version != TRACE_VERSION:
+    if version not in (1, TRACE_VERSION):
         raise ParseError(
             f"unsupported trace version {version!r} "
-            f"(this library reads version {TRACE_VERSION})"
+            f"(this library reads versions 1..{TRACE_VERSION})"
         )
+    skip = document.get("skip")
+    if version == 1:
+        skip = _infer_v1_skip(document)
     return ReductionTrace(
         order=document["order"],
         roots=list(document["roots"]),
@@ -176,6 +244,7 @@ def trace_from_dict(document: Dict) -> ReductionTrace:
         serial_witness=document.get("serial_witness"),
         failure=document.get("failure"),
         static_certificate=document.get("static_certificate"),
+        skip=skip,
     )
 
 
@@ -204,6 +273,8 @@ def diff_traces(a: ReductionTrace, b: ReductionTrace) -> List[str]:
     out: List[str] = []
     if a.succeeded != b.succeeded:
         out.append(f"verdict: {a.succeeded} vs {b.succeeded}")
+    if a.skip != b.skip:
+        out.append(f"skip: {a.skip} vs {b.skip}")
     if a.serial_witness != b.serial_witness:
         out.append(
             f"serial witness: {a.serial_witness} vs {b.serial_witness}"

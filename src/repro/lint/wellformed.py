@@ -685,11 +685,13 @@ def lint_trace_document(
 ) -> None:
     """Lint a reduction-trace document (``check --trace`` output)."""
     version = document.get("version")
-    if version != TRACE_VERSION:
+    # Version 1 stays lintable: the loader still reads it (the v2 skip
+    # field is inferred), so the linter accepts the same range.
+    if version not in (1, TRACE_VERSION):
         collector.report(
             "CTX303",
             f"unsupported trace version {version!r} "
-            f"(this library reads version {TRACE_VERSION})",
+            f"(this library reads versions 1..{TRACE_VERSION})",
             fix_hint="regenerate the trace with the current library",
         )
         return

@@ -20,6 +20,7 @@ from repro.obs.sink import (
     atomic_write_text,
     canonical_dumps,
     dumps_events,
+    iter_records,
     merge_streams,
     read_records,
     salvage_records,
@@ -55,6 +56,7 @@ __all__ = [
     "canonical_dumps",
     "current",
     "dumps_events",
+    "iter_records",
     "merge_streams",
     "read_records",
     "salvage_records",

@@ -36,7 +36,17 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.exceptions import TelemetryError
 from repro.obs.telemetry import (
@@ -49,10 +59,12 @@ from repro.obs.telemetry import (
 WALL_KEYS = ("dur_s",)
 
 #: span fields describing the execution *environment* rather than the
-#: computation (worker count, pool chunking, fleet size); also dropped
-#: by :func:`canonical_dumps` — ``--workers 1`` and ``--workers 4`` do
-#: the same work, and the canonical stream should say so.
-ENV_FIELDS = ("workers", "chunksize", "fleet")
+#: computation (worker count, pool chunking, fleet size, which CLI verb
+#: drove the run); also dropped by :func:`canonical_dumps` —
+#: ``--workers 1`` and ``--workers 4`` do the same work, and ``watch``
+#: over a finished stream does the same work as ``check`` on the same
+#: execution, so the canonical stream should say so.
+ENV_FIELDS = ("workers", "chunksize", "fleet", "command")
 
 #: whole streams describing the execution environment: the fleet
 #: coordinator's stream records *how* the grid was driven (lease
@@ -60,8 +72,12 @@ ENV_FIELDS = ("workers", "chunksize", "fleet")
 #: of real-world scheduling and injected harness faults, not of the
 #: workload).  :func:`canonical_dumps` drops these streams entirely so
 #: a ``--fleet 4`` run with a SIGKILLed worker still compares
-#: byte-identical to ``--workers 1``.
-ENV_STREAMS = ("fleet",)
+#: byte-identical to ``--workers 1``.  The streaming checker's
+#: ``"watch"`` stream is environmental the same way: per-event ingest
+#: spans describe *when* events arrived, not what the execution is, so
+#: dropping it leaves ``watch`` canonical telemetry byte-identical to
+#: a batch ``check``.
+ENV_STREAMS = ("fleet", "watch")
 
 #: exactly the keys every record must carry
 RECORD_KEYS = ("v", "stream", "seq", "kind", "name", "depth", "dur_s", "fields")
@@ -175,6 +191,88 @@ class TornTail:
         )
 
 
+def _parse_record(
+    path: str, raw: bytes, lineno: int, offset: int, tearable: bool
+) -> Tuple[Optional[Dict[str, Any]], Optional[TornTail]]:
+    """Parse one line; ``(record, None)``, ``(None, torn)``, or raise."""
+    stripped = raw.strip()
+    problem: Optional[str] = None
+    record: Any = None
+    try:
+        record = json.loads(stripped.decode("utf-8"))
+    except UnicodeDecodeError as err:
+        problem = f"undecodable bytes ({err})"
+    except json.JSONDecodeError as err:
+        problem = f"not valid JSON ({err})"
+    if problem is None and not isinstance(record, dict):
+        problem = "expected a JSON object"
+    if problem is not None:
+        if tearable:
+            return None, TornTail(
+                path=str(path),
+                line=lineno,
+                valid_bytes=offset,
+                lost_bytes=len(raw),
+                fragment=stripped[:80].decode("utf-8", "replace"),
+            )
+        raise TelemetryError(f"{path}:{lineno}: {problem}")
+    version = record.get("v")
+    if version != SCHEMA_VERSION:
+        raise TelemetryError(
+            f"{path}:{lineno}: telemetry schema version {version!r} "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    return record, None
+
+
+def iter_records(
+    path: str, *, on_torn: Optional[Callable[[TornTail], None]] = None
+) -> Iterator[Dict[str, Any]]:
+    """Yield a telemetry file's records one at a time, never crashing
+    on a torn tail.
+
+    This is the reader for sinks a *live* process may still be
+    appending to (``profile`` over a running simulation, the watch
+    service's own sink): records stream out as they are parsed instead
+    of slurping the file, and a final line that is not a complete
+    record — the writer caught mid-``write`` or killed there — ends the
+    iteration cleanly.  When ``on_torn`` is given it receives the
+    :class:`TornTail` describing the suppressed tail; without it the
+    tail is silently tolerated.  Corruption *before* the final line is
+    still a :class:`~repro.exceptions.TelemetryError`: only an
+    in-flight append can tear the tail.
+    """
+    offset = 0
+    lineno = 0
+    previous: Optional[bytes] = None
+    with open(path, "rb") as handle:
+        for raw in handle:
+            if previous is not None:
+                lineno += 1
+                if previous.strip():
+                    record, _ = _parse_record(
+                        path, previous, lineno, offset, tearable=False
+                    )
+                    assert record is not None
+                    yield record
+                offset += len(previous)
+            previous = raw
+    if previous is None:
+        return
+    lineno += 1
+    if previous.strip():
+        tearable = not previous.endswith(b"\n")
+        record, torn = _parse_record(
+            path, previous, lineno, offset, tearable=tearable
+        )
+        if torn is not None:
+            if on_torn is not None:
+                on_torn(torn)
+            return
+        assert record is not None
+        yield record
+
+
 def salvage_records(
     path: str,
 ) -> Tuple[List[Dict[str, Any]], Optional[TornTail]]:
@@ -189,47 +287,9 @@ def salvage_records(
     be explained by an interrupted append and raises
     :class:`~repro.exceptions.TelemetryError` as before.
     """
-    with open(path, "rb") as handle:
-        data = handle.read()
-    lines = data.splitlines(keepends=True)
-    records: List[Dict[str, Any]] = []
-    offset = 0
-    for i, raw in enumerate(lines):
-        stripped = raw.strip()
-        if not stripped:
-            offset += len(raw)
-            continue
-        lineno = i + 1
-        tearable = i == len(lines) - 1 and not raw.endswith(b"\n")
-        problem: Optional[str] = None
-        record: Any = None
-        try:
-            record = json.loads(stripped.decode("utf-8"))
-        except UnicodeDecodeError as err:
-            problem = f"undecodable bytes ({err})"
-        except json.JSONDecodeError as err:
-            problem = f"not valid JSON ({err})"
-        if problem is None and not isinstance(record, dict):
-            problem = "expected a JSON object"
-        if problem is not None:
-            if tearable:
-                return records, TornTail(
-                    path=str(path),
-                    line=lineno,
-                    valid_bytes=offset,
-                    lost_bytes=len(data) - offset,
-                    fragment=stripped[:80].decode("utf-8", "replace"),
-                )
-            raise TelemetryError(f"{path}:{lineno}: {problem}")
-        version = record.get("v")
-        if version != SCHEMA_VERSION:
-            raise TelemetryError(
-                f"{path}:{lineno}: telemetry schema version {version!r} "
-                f"(this build reads version {SCHEMA_VERSION})"
-            )
-        records.append(record)
-        offset += len(raw)
-    return records, None
+    torn_box: List[TornTail] = []
+    records = list(iter_records(path, on_torn=torn_box.append))
+    return records, (torn_box[0] if torn_box else None)
 
 
 def read_records(path: str) -> List[Dict[str, Any]]:

@@ -1,0 +1,37 @@
+"""Online (streaming) Comp-C checking.
+
+This package turns the batch Def.-16 reduction into a service that
+watches an execution *as it happens*:
+
+- :mod:`repro.stream.assembler` folds the typed event log of
+  :mod:`repro.io.eventlog` into the committed composite system after
+  every commit;
+- :mod:`repro.stream.checker` maintains the level-0 observed order
+  incrementally across commits and re-runs the reduction with the
+  maintained front injected, emitting a live verdict that flips to
+  REJECTED the moment a cycle closes;
+- :mod:`repro.stream.tail` tails a growing JSONL event log with
+  torn-tail tolerance (the ``composite-tx watch`` transport).
+
+See ``docs/STREAMING.md`` for semantics and the equivalence argument.
+"""
+
+from repro.stream.assembler import CommitDelta, StreamAssembler
+from repro.stream.checker import (
+    IncrementalChecker,
+    StreamResult,
+    StreamVerdict,
+    WATCH_STREAM,
+)
+from repro.stream.tail import EventLogTail, TailedEvent
+
+__all__ = [
+    "CommitDelta",
+    "EventLogTail",
+    "IncrementalChecker",
+    "StreamAssembler",
+    "StreamResult",
+    "StreamVerdict",
+    "TailedEvent",
+    "WATCH_STREAM",
+]

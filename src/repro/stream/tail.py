@@ -1,0 +1,84 @@
+"""Tail a growing JSONL event log with torn-tail tolerance.
+
+The transport half of ``composite-tx watch``: poll a file a concurrent
+writer is appending to, hand back every *complete* line as a parsed
+:class:`~repro.io.eventlog.Event`, and leave a torn tail (the writer
+mid-``write``) in place for the next poll — the same discipline
+:func:`repro.obs.sink.salvage_records` applies to telemetry sinks, but
+incremental: only bytes past the consumed offset are ever re-read.
+
+Offsets are plain byte offsets into the file.  Each returned event
+carries the offset *after* its line, so a consumer can persist the
+last offset it acted on and a later ``watch --from-offset`` can
+suppress re-announcing transitions it already reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Union
+
+from repro.io.eventlog import Event, parse_event_line
+
+__all__ = ["EventLogTail", "TailedEvent"]
+
+
+@dataclass(frozen=True)
+class TailedEvent:
+    """One parsed event plus the byte offset just past its line."""
+
+    event: Event
+    offset: int
+    line: int
+
+
+class EventLogTail:
+    """Incremental reader over a growing event log file.
+
+    ``poll()`` parses every complete line appended since the last call.
+    A final line without a newline is *torn* — the writer is mid-append
+    — and is left unconsumed; it will be parsed on a later poll once
+    the newline lands.  A complete line that fails to parse raises
+    :class:`~repro.exceptions.ParseError` (real corruption, not a torn
+    tail — a tailer never waits out a malformed line).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = str(path)
+        self.offset = 0
+        self._line = 0
+
+    def poll(self) -> List[TailedEvent]:
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self.offset)
+                data = handle.read()
+        except FileNotFoundError:
+            return []
+        if not data:
+            return []
+        out: List[TailedEvent] = []
+        consumed = 0
+        for raw in data.splitlines(keepends=True):
+            if not raw.endswith(b"\n"):
+                break  # torn tail: wait for the writer to finish it
+            consumed += len(raw)
+            self._line += 1
+            stripped = raw.strip()
+            if not stripped:
+                continue
+            event = parse_event_line(
+                stripped.decode("utf-8"),
+                source=self.path,
+                line=self._line,
+            )
+            out.append(
+                TailedEvent(
+                    event=event,
+                    offset=self.offset + consumed,
+                    line=self._line,
+                )
+            )
+        self.offset += consumed
+        return out

@@ -144,3 +144,96 @@ class TestCliTrace:
         assert main(["check", str(source), "--trace", str(trace)]) == 0
         assert "trace written" in capsys.readouterr().out
         assert json.loads(trace.read_text())["succeeded"] is False
+
+
+# ----------------------------------------------------------------------
+# version 2: explicit skip provenance (both static-skip directions)
+# ----------------------------------------------------------------------
+def _lost_update_system():
+    from repro.core.builder import SystemBuilder
+
+    b = SystemBuilder()
+    b.schedule("S1")
+    b.transaction("T1", "S1", ["a", "b"])
+    b.transaction("T2", "S1", ["c"])
+    b.conflict("S1", "a", "c")
+    b.conflict("S1", "c", "b")
+    b.executed("S1", ["a", "c", "b"])
+    return b.build()
+
+
+def _certified_system():
+    from pathlib import Path
+
+    from repro.io import load
+
+    return load(
+        Path(__file__).resolve().parents[2]
+        / "examples"
+        / "lint"
+        / "booking_system.json"
+    ).system
+
+
+class TestSkipProvenance:
+    def test_plain_run_has_null_skip(self):
+        doc = trace_to_dict(reduce_to_roots(figure1_system()))
+        assert doc["version"] == 2
+        assert doc["skip"] is None
+        trace = trace_from_dict(doc)
+        assert not trace.skipped_by_precheck
+        assert not trace.skipped_by_refutation
+
+    def test_precheck_skip_round_trips(self):
+        """A precheck-skipped accept is no longer ambiguous: v1 wrote
+        only ``"serial_witness": null`` (indistinguishable from a
+        dropped witness); v2 records the direction explicitly."""
+        result = reduce_to_roots(_certified_system(), static_precheck=True)
+        assert result.skipped_by_precheck
+        trace = loads_trace(dumps_trace(result))
+        assert trace.succeeded
+        assert trace.serial_witness is None
+        assert trace.skip == {"direction": "precheck"}
+        assert trace.skipped_by_precheck
+        assert not trace.skipped_by_refutation
+
+    def test_refutation_skip_round_trips(self):
+        """The PR-8 refute-skip state survives the round trip: v1
+        dropped it entirely."""
+        result = reduce_to_roots(_lost_update_system(), static_precheck=True)
+        assert result.skipped_by_refutation
+        trace = loads_trace(dumps_trace(result))
+        assert not trace.succeeded
+        assert trace.failure is not None
+        assert trace.skip == {"direction": "refutation"}
+        assert trace.skipped_by_refutation
+        assert not trace.skipped_by_precheck
+        # the witness provenance rides on the certificate
+        assert trace.static_certificate["verdict"] == "certified_unsafe"
+
+    @pytest.mark.parametrize("certified", [True, False])
+    def test_v1_trace_still_loads_with_inferred_skip(self, certified):
+        system = _certified_system() if certified else _lost_update_system()
+        result = reduce_to_roots(system, static_precheck=True)
+        doc = trace_to_dict(result)
+        doc["version"] = 1
+        del doc["skip"]  # v1 documents have no skip field
+        trace = trace_from_dict(doc)
+        direction = (
+            "precheck" if result.skipped_by_precheck else "refutation"
+        )
+        assert trace.skip == {"direction": direction}
+
+    def test_v1_full_run_infers_no_skip(self):
+        doc = trace_to_dict(reduce_to_roots(figure1_system()))
+        doc["version"] = 1
+        del doc["skip"]
+        assert trace_from_dict(doc).skip is None
+
+    def test_diff_reports_skip_difference(self):
+        system = _certified_system()
+        full = loads_trace(dumps_trace(reduce_to_roots(system)))
+        skipped = loads_trace(
+            dumps_trace(reduce_to_roots(system, static_precheck=True))
+        )
+        assert any("skip" in line for line in diff_traces(full, skipped))

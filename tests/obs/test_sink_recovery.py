@@ -12,6 +12,7 @@ from repro.exceptions import TelemetryError
 from repro.obs import (
     Telemetry,
     atomic_write_text,
+    iter_records,
     read_records,
     salvage_records,
     write_jsonl,
@@ -138,6 +139,51 @@ class TestTornTail:
             handle.write(b'{"half": \n')
         with pytest.raises(TelemetryError, match="not valid JSON"):
             salvage_records(str(path))
+
+    def test_iter_records_streams_a_live_sink(self, tmp_path):
+        """The bugfix this pins: reading a sink a concurrent writer is
+        mid-append to must not crash — the iterator yields everything
+        before the tear, reports it via the callback, and stops."""
+        path = tmp_path / "events.jsonl"
+        data = sample_file(path)
+        boundary = data.rfind(b"\n", 0, len(data) - 1) + 1
+        path.write_bytes(data[: boundary + 9])  # writer mid-write
+
+        torn_seen = []
+        records = list(iter_records(str(path), on_torn=torn_seen.append))
+        expected, torn = salvage_records(str(path))
+        assert records == expected
+        assert torn_seen == [torn]
+        assert torn_seen[0] is not None
+        assert torn_seen[0].valid_bytes == boundary
+
+    def test_iter_records_equals_salvage_on_intact_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sample_file(path)
+        torn_seen = []
+        records = list(iter_records(str(path), on_torn=torn_seen.append))
+        assert torn_seen == []
+        assert records == read_records(str(path))
+
+    def test_iter_records_raises_on_mid_file_corruption(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sample_file(path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = b'{"v": 1, "broken\n'
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(TelemetryError, match="not valid JSON"):
+            list(iter_records(str(path)))
+
+    def test_iter_records_is_lazy(self, tmp_path):
+        """Consuming the head of a torn file never touches the tear —
+        the iterator reads line by line, so a live `profile` can show
+        the prefix of a sink whose tail is still being written."""
+        path = tmp_path / "events.jsonl"
+        data = sample_file(path)
+        path.write_bytes(data[: len(data) - 3])  # torn tail
+        iterator = iter_records(str(path))
+        first_line = data.splitlines()[0]
+        assert next(iterator) == json.loads(first_line)
 
     def test_torn_tail_describe_counts_bytes(self, tmp_path):
         path = tmp_path / "events.jsonl"

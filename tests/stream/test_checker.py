@@ -1,0 +1,150 @@
+"""The incremental checker itself: early rejection, sticky verdicts,
+arrival-order independence, and the live/batch certification step."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.core.reduction import reduce_to_roots
+from repro.exceptions import StreamError
+from repro.io import load
+from repro.io.eventlog import Event, events_from_recorded
+from repro.stream import IncrementalChecker
+from repro.workloads.generator import WorkloadConfig, generate
+from repro.workloads.topologies import stack_topology, tree_topology
+
+FIXTURE = "tests/fixtures/unsafe_lost_update.json"
+
+
+def _fixture_events():
+    return events_from_recorded(load(FIXTURE))
+
+
+# ----------------------------------------------------------------------
+# live verdicts
+# ----------------------------------------------------------------------
+def test_rejects_before_the_stream_ends():
+    """The lost-update log flips to REJECTED at the commit that closes
+    the cycle — strictly before the ``end`` event arrives."""
+    events = _fixture_events()
+    checker = IncrementalChecker()
+    flipped_at = None
+    for i, event in enumerate(events):
+        verdict = checker.ingest(event)
+        if verdict.rejected and flipped_at is None:
+            flipped_at = i
+    assert flipped_at is not None
+    assert flipped_at < len(events) - 1  # before `end`
+    assert events[flipped_at].kind == "commit"
+    verdict = checker.verdict()
+    assert verdict.rejected_at_event == flipped_at + 1  # 1-based
+    assert verdict.failure is not None
+    assert "REJECTED" in verdict.describe()
+
+
+def test_rejection_is_sticky():
+    events = _fixture_events()
+    checker = IncrementalChecker()
+    checker.ingest_all(events)
+    assert checker.verdict().rejected
+    first = checker.verdict()
+    # the recheck ran once per pre-rejection commit only
+    result = checker.finalize()
+    assert result.verdict == first
+    assert result.reduction is not None
+    assert result.reduction.failure is not None
+
+
+def test_accepting_stream_stays_accepted():
+    recorded = generate(
+        stack_topology(2), WorkloadConfig(seed=2, conflict_probability=0.0)
+    )
+    assert reduce_to_roots(recorded.system).succeeded
+    checker = IncrementalChecker()
+    verdict = checker.ingest_all(events_from_recorded(recorded))
+    assert not verdict.rejected
+    assert verdict.commits == len(recorded.system.roots)
+    result = checker.finalize()
+    assert result.reduction is not None and result.reduction.succeeded
+
+
+def test_finalize_before_any_commit_certifies_nothing():
+    checker = IncrementalChecker()
+    checker.ingest(Event(kind="log", derive="declared"))
+    result = checker.finalize()
+    assert result.reduction is None and result.recorded is None
+    assert not result.verdict.rejected
+    assert result.verdict.commits == 0
+
+
+def test_verdict_counts_events_and_commits():
+    events = _fixture_events()
+    checker = IncrementalChecker()
+    verdict = checker.ingest_all(events)
+    assert verdict.events == len(events)
+    assert verdict.commits == len(
+        [e for e in events if e.kind == "commit"]
+    )
+
+
+def test_protocol_violation_surfaces_as_stream_error():
+    checker = IncrementalChecker()
+    with pytest.raises(StreamError):
+        checker.ingest(Event(kind="commit", root="T1"))
+
+
+# ----------------------------------------------------------------------
+# arrival-order independence
+# ----------------------------------------------------------------------
+def _shuffled_log(events, data):
+    """A valid re-interleaving of ``events``: commit order permuted,
+    per-schedule arrival sequences interleaved arbitrarily (relative
+    order within a schedule preserved), declarations untouched."""
+    header, end = events[0], events[-1]
+    decls = [e for e in events if e.kind in ("txn", "conflict", "order")]
+    begins = {e.root: e for e in events if e.kind == "begin"}
+    commits = [e for e in events if e.kind == "commit"]
+    queues = {}
+    for e in events:
+        if e.kind in ("access", "call"):
+            queues.setdefault(e.schedule, []).append(e)
+    commit_order = data.draw(st.permutations(commits))
+    merged = []
+    pending = {k: list(v) for k, v in queues.items()}
+    while any(pending.values()):
+        name = data.draw(
+            st.sampled_from(sorted(k for k, q in pending.items() if q))
+        )
+        merged.append(pending[name].pop(0))
+    return (
+        [header]
+        + decls
+        + [begins[c.root] for c in commit_order]
+        + merged
+        + list(commit_order)
+        + [end]
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_any_arrival_order_yields_the_batch_verdict(data):
+    """Permuting commit order and re-interleaving arrivals across
+    schedules never changes the final verdict: it always equals the
+    batch reduction of the original system, and finalize's
+    live-vs-batch hard assert holds along the way."""
+    seed = data.draw(st.integers(min_value=0, max_value=24))
+    recorded = generate(
+        tree_topology(2, 2),
+        WorkloadConfig(seed=seed, roots=3, conflict_probability=0.2),
+    )
+    events = _shuffled_log(events_from_recorded(recorded), data)
+    checker = IncrementalChecker()
+    verdict = checker.ingest_all(events)
+    batch = reduce_to_roots(recorded.system)
+    assert verdict.rejected == (batch.failure is not None)
+    result = checker.finalize()  # raises StreamError on disagreement
+    assert result.reduction is not None
+    assert (result.reduction.failure is not None) == (
+        batch.failure is not None
+    )

@@ -1,0 +1,99 @@
+"""The streaming acceptance property: a finished stream through
+:class:`~repro.stream.IncrementalChecker` is indistinguishable from a
+batch :func:`~repro.core.reduction.reduce_to_roots` — same verdict,
+same failure witness, byte-identical canonical telemetry.
+
+The sweep mirrors the 500-system population of the static-safety
+agreement test (5 topologies × 100 seeds) so the two acceptance gates
+cover the same workloads.
+"""
+
+import pytest
+
+from repro.core.reduction import reduce_to_roots
+from repro.io.eventlog import events_from_recorded
+from repro.obs import canonical_dumps
+from repro.obs.sink import sort_events, to_record
+from repro.obs.telemetry import Telemetry, current, using
+from repro.stream import IncrementalChecker
+from repro.workloads.generator import WorkloadConfig, generate
+from repro.workloads.topologies import (
+    fork_topology,
+    join_topology,
+    stack_topology,
+    tree_topology,
+)
+
+_SPECS = [
+    stack_topology(2),
+    stack_topology(3),
+    fork_topology(3),
+    join_topology(2),
+    tree_topology(2, 2),
+]
+
+
+def _records(telemetry):
+    return [to_record(e) for e in sort_events(telemetry.collect())]
+
+
+def _batch_run(system):
+    """A batch ``check``-shaped run: ambient main-stream telemetry
+    wrapping the reduction in the CLI's command span."""
+    telemetry = Telemetry(stream="main")
+    with using(telemetry):
+        with telemetry.span("cli.command", command="check"):
+            result = reduce_to_roots(system)
+    return result, _records(telemetry)
+
+
+def _stream_run(events):
+    """A ``watch``-shaped run: per-event work on the checker's own
+    watch stream, batch certification under the ambient main stream,
+    watch records absorbed at the end — exactly ``cmd_watch``."""
+    telemetry = Telemetry(stream="main")
+    with using(telemetry):
+        with telemetry.span("cli.command", command="watch"):
+            checker = IncrementalChecker()
+            checker.ingest_all(events)
+            result = checker.finalize()
+            current().absorb(checker.telemetry.collect())
+    return result, _records(telemetry)
+
+
+@pytest.mark.parametrize("spec", _SPECS, ids=lambda s: s.name)
+def test_stream_equals_batch_on_generated_systems(spec):
+    """100 seeds per topology (500 systems over the suite): verdict,
+    failure witness, and canonical telemetry all agree between the
+    streamed and the batch check, and both outcomes are exercised."""
+    rejected = 0
+    for seed in range(100):
+        config = WorkloadConfig(
+            seed=seed,
+            roots=3,
+            conflict_probability=(seed % 4) * 0.1,
+            intra_order_probability=0.2 if seed % 5 == 0 else 0.0,
+        )
+        recorded = generate(spec, config)
+        events = events_from_recorded(recorded)
+
+        batch, batch_records = _batch_run(recorded.system)
+        stream, stream_records = _stream_run(events)
+
+        # verdict agreement (finalize hard-asserts this too; pin it
+        # here so a regression fails with context, not a StreamError)
+        assert stream.verdict.rejected == (batch.failure is not None), (
+            spec.name,
+            seed,
+        )
+        # the certified witness is the batch witness, exactly
+        assert stream.reduction is not None
+        assert stream.reduction.failure == batch.failure, (spec.name, seed)
+        # canonical telemetry byte-identity
+        assert canonical_dumps(stream_records) == canonical_dumps(
+            batch_records
+        ), (spec.name, seed)
+        if batch.failure is not None:
+            rejected += 1
+    assert rejected > 0, f"no {spec.name} workload was ever rejected"
+    assert rejected < 100, f"every {spec.name} workload was rejected"
