@@ -20,10 +20,12 @@ actually ran, a resumed run's merged metrics and canonical telemetry
 are byte-identical to an uninterrupted run's.
 
 Results are stored with a small typed codec (scalars, lists, tuples,
-string-keyed mappings, and dataclasses by qualified name) — exactly
-the shapes batch workers return.  Floats survive the JSON round trip
-exactly (``repr`` shortest-round-trip), which the byte-identity
-contract relies on.
+sets, string-keyed mappings, packed-bitset relations, and dataclasses
+by qualified name) — the shapes batch workers return, and, since the
+stream recovery layer (:mod:`repro.stream.snapshot`) reuses the same
+codec, the shapes inside a live checker's state.  Floats survive the
+JSON round trip exactly (``repr`` shortest-round-trip), which the
+byte-identity contract relies on.
 """
 
 from __future__ import annotations
@@ -47,6 +49,7 @@ from typing import (
 )
 
 from repro.analysis.supervise import QuarantinedTask
+from repro.core.orders import Relation
 from repro.exceptions import CheckpointError
 from repro.obs import TelemetryEvent, atomic_write_text, to_record
 
@@ -76,6 +79,26 @@ def encode_value(value: Any) -> Any:
                 [encode_value(k), encode_value(v)] for k, v in value.items()
             ],
         }
+    if isinstance(value, (set, frozenset)):
+        # Canonical member order: sets have no order of their own, and
+        # the snapshot layer hashes encoded documents — sorting by the
+        # JSON image makes equal sets encode byte-identically.
+        items = sorted(
+            (encode_value(v) for v in value),
+            key=lambda item: json.dumps(item, sort_keys=True),
+        )
+        return {_KIND: "set", "items": items}
+    if isinstance(value, Relation):
+        # The packed-bitset native state, verbatim: nodes in interned
+        # order plus one hex successor bitmap per node, so a decoded
+        # relation is *internally* identical (same interning, same
+        # rows) — the property the stream snapshot's byte-for-byte
+        # resume contract needs, not just pair-set equality.
+        return {
+            _KIND: "relation",
+            "nodes": list(value.elements),
+            "rows": [format(value.row_bits(e), "x") for e in value.elements],
+        }
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         cls = type(value)
         return {
@@ -88,8 +111,8 @@ def encode_value(value: Any) -> Any:
         }
     raise CheckpointError(
         f"cannot checkpoint a value of type {type(value).__name__}: "
-        "batch results must be JSON scalars, lists, tuples, str-keyed "
-        "dicts, or dataclasses thereof"
+        "batch results must be JSON scalars, lists, tuples, sets, "
+        "str-keyed dicts, relations, or dataclasses thereof"
     )
 
 
@@ -104,6 +127,17 @@ def decode_value(value: Any) -> Any:
         return {k: decode_value(v) for k, v in value.items()}
     if kind == "tuple":
         return tuple(decode_value(v) for v in value["items"])
+    if kind == "set":
+        return {decode_value(v) for v in value["items"]}
+    if kind == "relation":
+        nodes = [str(n) for n in value["nodes"]]
+        rows = [int(str(r), 16) for r in value["rows"]]
+        if len(rows) != len(nodes):
+            raise CheckpointError(
+                "relation state is torn: "
+                f"{len(nodes)} nodes but {len(rows)} rows"
+            )
+        return Relation._from_state(nodes, rows, None)
     if kind == "dict":
         return {
             decode_value(k): decode_value(v) for k, v in value["items"]

@@ -689,16 +689,62 @@ def cmd_watch(args: argparse.Namespace) -> int:
     import time as _time
 
     from repro.obs import current
-    from repro.stream import EventLogTail, IncrementalChecker
+    from repro.stream import (
+        EventLogTail,
+        IncrementalChecker,
+        SnapshotWriter,
+        read_snapshot,
+        restore_checker,
+        restore_tail,
+        verify_snapshot,
+    )
 
-    checker = IncrementalChecker()
-    tail = EventLogTail(args.file)
-    last_status: Optional[str] = None
+    if args.resume_from_snapshot:
+        if args.from_offset:
+            raise SystemExit(
+                "--resume-from-snapshot and --from-offset are mutually "
+                "exclusive: the snapshot carries its own offset"
+            )
+        document = read_snapshot(args.resume_from_snapshot)
+        verify_snapshot(
+            document, args.file, snapshot_path=args.resume_from_snapshot
+        )
+        checker = restore_checker(document)
+        tail = restore_tail(document, args.file)
+        restored = checker.verdict()
+        checker.telemetry.meta(
+            "stream.recover",
+            mode="snapshot",
+            offset=tail.offset,
+            line=tail.line,
+            events=restored.events,
+        )
+        last_status: Optional[str] = restored.status
+        print(
+            f"resumed from {args.resume_from_snapshot}: "
+            f"{restored.events} event(s) restored "
+            f"({restored.commits} commits, {restored.status}); "
+            f"replaying the log from offset {tail.offset}",
+            file=sys.stderr,
+        )
+    else:
+        checker = IncrementalChecker()
+        tail = EventLogTail(args.file)
+        last_status = None
+    writer: Optional[SnapshotWriter] = None
+    if args.snapshot_out:
+        writer = SnapshotWriter(
+            args.snapshot_out,
+            every=args.snapshot_every,
+            telemetry=checker.telemetry,
+        )
+    replayed = 0
     try:
         while True:
             batch = tail.poll()
             for tailed in batch:
                 verdict = checker.ingest(tailed.event)
+                replayed += 1
                 if tailed.offset <= args.from_offset:
                     # catch-up below the resume offset: state is
                     # rebuilt, transitions are not re-announced
@@ -709,6 +755,8 @@ def cmd_watch(args: argparse.Namespace) -> int:
                     print(f"[offset {tailed.offset}] {verdict.describe()}")
                 if checker.ended:
                     break
+            if writer is not None and batch:
+                writer.maybe(checker, tail)
             if checker.ended:
                 break
             if not batch:
@@ -718,6 +766,10 @@ def cmd_watch(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         print("interrupted; certifying the prefix seen so far",
               file=sys.stderr)
+        if writer is not None:
+            writer.write(checker, tail)
+    if args.resume_from_snapshot:
+        checker.telemetry.count("stream.recover.replayed", replayed)
     result = checker.finalize()
     current().absorb(checker.telemetry.collect())
     if result.reduction is None:
@@ -731,8 +783,31 @@ def cmd_watch(args: argparse.Namespace) -> int:
         f"stream: {verdict.events} event(s), {verdict.commits} "
         f"commit(s); resume offset {tail.offset}"
     )
+    if writer is not None and writer.written:
+        print(f"snapshots: {writer.written} written to {writer.path}")
     if args.strict and verdict.rejected:
         return 2
+    return 0
+
+
+def cmd_chaos_stream(args: argparse.Namespace) -> int:
+    from repro.stream.chaos import SCENARIOS, run_chaos_suite
+
+    scenarios = args.scenario if args.scenario else list(SCENARIOS)
+    outcomes = run_chaos_suite(
+        seed=args.seed,
+        roots=args.roots,
+        batch_lines=args.batch_lines,
+        scenarios=scenarios,
+    )
+    print(banner("chaos-stream: fault scenarios vs batch check"))
+    for outcome in outcomes:
+        print(outcome.describe())
+    print(
+        f"{len(outcomes)} scenario(s): final verdict, witness, and "
+        "canonical telemetry byte-identical to `check` under every "
+        "fault"
+    )
     return 0
 
 
@@ -1054,8 +1129,58 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 2 when the stream is rejected",
     )
+    p.add_argument(
+        "--snapshot-out",
+        metavar="PATH",
+        help="atomically write a resumable checker snapshot here while "
+        "watching (see --snapshot-every); a killed watch resumes with "
+        "--resume-from-snapshot, replaying only the unseen suffix",
+    )
+    p.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=1,
+        metavar="EVENTS",
+        help="snapshot cadence: write after every poll batch that "
+        "ingested at least this many events since the last snapshot "
+        "(default 1)",
+    )
+    p.add_argument(
+        "--resume-from-snapshot",
+        metavar="PATH",
+        help="restore checker state from a snapshot and replay only "
+        "the log suffix past its offset; refused (CTX501) when the "
+        "log's prefix no longer matches the snapshot's fingerprint",
+    )
     _add_telemetry_option(p)
     p.set_defaults(func=cmd_watch)
+
+    p = sub.add_parser(
+        "chaos-stream",
+        help="torture the supervised watch loop with log faults "
+        "(kill, torn writes, corruption, duplicates, reordering, "
+        "rotation) and hard-assert the certified verdict stays "
+        "byte-identical to `check`",
+    )
+    p.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument(
+        "--roots", type=int, default=4, help="workload roots (default 4)"
+    )
+    p.add_argument(
+        "--batch-lines",
+        type=int,
+        default=40,
+        metavar="N",
+        help="lines per simulated append batch (default 40)",
+    )
+    _add_telemetry_option(p)
+    p.set_defaults(func=cmd_chaos_stream)
 
     p = sub.add_parser(
         "resume",

@@ -39,7 +39,9 @@ See ``docs/STREAMING.md`` for the schema reference.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -261,6 +263,90 @@ def loads_event_log(
 def save_event_log(events: List[Event], path: Union[str, Path]) -> None:
     """Write a complete log (plain write; logs are append streams)."""
     Path(path).write_text(dumps_event_log(events), encoding="utf-8")
+
+
+def append_events(events: List[Event], path: Union[str, Path]) -> int:
+    """Append events to a (possibly new) log; returns the new size.
+
+    The writer half of a live stream: one ``write`` call per batch, so
+    a concurrent :class:`repro.stream.tail.EventLogTail` sees at most
+    one torn line per poll.  Used by the chaos harness and tests to
+    play the producer role.
+    """
+    data = dumps_event_log(events).encode("utf-8")
+    with open(path, "ab") as handle:
+        handle.write(data)
+    return os.path.getsize(path)
+
+
+def log_prefix_digest(
+    path: Union[str, Path], offset: int
+) -> Optional[str]:
+    """SHA-256 hex digest of the log's first ``offset`` bytes.
+
+    This is the fingerprint a :mod:`repro.stream.snapshot` binds to:
+    a snapshot summarizes exactly the prefix ``[0, offset)``, so
+    re-hashing that prefix at resume time detects truncation, rotation
+    and divergence.  Returns ``None`` when the file is missing or
+    shorter than ``offset`` — a prefix that cannot be verified.
+    """
+    if offset < 0:
+        return None
+    digest = hashlib.sha256()
+    try:
+        with open(path, "rb") as handle:
+            remaining = offset
+            while remaining > 0:
+                chunk = handle.read(min(remaining, 1 << 20))
+                if not chunk:
+                    return None  # file shorter than the claimed prefix
+                digest.update(chunk)
+                remaining -= len(chunk)
+    except FileNotFoundError:
+        return None
+    return digest.hexdigest()
+
+
+def interleave_by_commit(events: List[Event]) -> List[Event]:
+    """Re-lay a converter log out as a *live* trace.
+
+    :func:`events_from_recorded` emits the batch-shaped layout — every
+    declaration and arrival first, all commits at the tail — which is
+    the degenerate case for an online checker (there is nothing to
+    answer until the last handful of events).  A watch stream sees
+    roots run and commit interleaved; model that as each root's txn
+    declarations, begin, arrivals, and commit in turn.  Declared
+    orders are unchanged, so the final system and verdict are too.
+    """
+    header, end = events[0], events[-1]
+    txn_decls: Dict[str, List[Event]] = {}
+    arrivals: Dict[str, List[Event]] = {}
+    other_decls: List[Event] = []
+    for e in events:
+        if e.kind == "txn":
+            assert e.root is not None
+            txn_decls.setdefault(e.root, []).append(e)
+        elif e.kind in ("conflict", "order"):
+            other_decls.append(e)
+        elif e.kind in ("access", "call"):
+            assert e.root is not None
+            arrivals.setdefault(e.root, []).append(e)
+    begins = {e.root: e for e in events if e.kind == "begin"}
+    out = [header] + other_decls
+    for commit in (e for e in events if e.kind == "commit"):
+        assert commit.root is not None
+        out += txn_decls.get(commit.root, [])
+        out.append(begins[commit.root])
+        out += arrivals.get(commit.root, [])
+        out.append(commit)
+    out.append(end)
+    if len(out) != len(events):
+        raise ModelError(
+            "interleave dropped or duplicated events "
+            f"({len(out)} != {len(events)}); the log names roots its "
+            "begin/commit events do not cover"
+        )
+    return out
 
 
 def load_event_log(path: Union[str, Path]) -> List[Event]:

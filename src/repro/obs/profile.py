@@ -45,6 +45,9 @@ class RunProfile:
     reduce_levels: List[Dict[str, Any]] = field(default_factory=list)
     fleet_summary: Dict[str, Any] = field(default_factory=dict)
     fleet_workers: List[Dict[str, Any]] = field(default_factory=list)
+    recoveries: List[Dict[str, Any]] = field(default_factory=list)
+    quarantines: List[Dict[str, Any]] = field(default_factory=list)
+    invalid_snapshots: List[Dict[str, Any]] = field(default_factory=list)
     streams: int = 0
     records: int = 0
 
@@ -82,6 +85,14 @@ def build_profile(
                 profile.fleet_summary = dict(record.get("fields", {}))
             elif record.get("name") == "fleet.worker":
                 profile.fleet_workers.append(dict(record.get("fields", {})))
+            elif record.get("name") == "stream.recover":
+                profile.recoveries.append(dict(record.get("fields", {})))
+            elif record.get("name") == "stream.quarantine":
+                profile.quarantines.append(dict(record.get("fields", {})))
+            elif record.get("name") == "stream.snapshot.invalid":
+                profile.invalid_snapshots.append(
+                    dict(record.get("fields", {}))
+                )
     profile.streams = len(streams)
     profile.phases = sorted(
         by_name.values(), key=lambda s: (-s.total_s, s.name)
@@ -186,6 +197,42 @@ def render_profile(
                         for w in profile.fleet_workers
                     ],
                 )
+            )
+    if (
+        profile.recoveries
+        or profile.quarantines
+        or profile.invalid_snapshots
+    ):
+        out.append(banner("stream recovery"))
+        if profile.recoveries:
+            out.append(
+                format_table(
+                    ["recovery", "mode", "attempt", "offset", "line",
+                     "events restored"],
+                    [
+                        [
+                            i + 1,
+                            r.get("mode", "?"),
+                            r.get("attempt", "-"),
+                            r.get("offset", "-"),
+                            r.get("line", "-"),
+                            r.get("events", "-"),
+                        ]
+                        for i, r in enumerate(profile.recoveries)
+                    ],
+                )
+            )
+        for bad in profile.invalid_snapshots:
+            out.append(
+                f"invalid snapshot skipped on attempt "
+                f"{bad.get('attempt', '?')} ({bad.get('code', '?')}); "
+                "fell back to a full re-read"
+            )
+        for q in profile.quarantines:
+            out.append(
+                f"poison event quarantined at offset "
+                f"{q.get('offset', '?')} (log line {q.get('line', '?')}) "
+                f"after {q.get('failures', '?')} failed attempt(s)"
             )
     out.append(banner(f"slowest spans (top {top})"))
     out.append(

@@ -11,15 +11,28 @@ Offsets are plain byte offsets into the file.  Each returned event
 carries the offset *after* its line, so a consumer can persist the
 last offset it acted on and a later ``watch --from-offset`` can
 suppress re-announcing transitions it already reported.
+
+A well-behaved log only ever *grows*.  If a poll observes the file
+smaller than the consumed offset, the log was truncated or rotated
+underneath the tailer and every consumed byte past the new end is
+unverifiable — ``poll`` raises
+:class:`~repro.exceptions.EventLogTruncatedError` (carrying the
+``CTX502`` diagnostic) instead of silently reporting "no new events",
+which is what a bare ``seek``-past-EOF + ``read`` would do.  The
+stream supervisor catches it and falls back to a snapshot-verified
+re-read (:mod:`repro.stream.supervisor`).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Union
 
+from repro.exceptions import EventLogTruncatedError, ParseError
 from repro.io.eventlog import Event, parse_event_line
+from repro.lint.diagnostics import Diagnostic, Location, Severity
 
 __all__ = ["EventLogTail", "TailedEvent"]
 
@@ -41,7 +54,10 @@ class EventLogTail:
     — and is left unconsumed; it will be parsed on a later poll once
     the newline lands.  A complete line that fails to parse raises
     :class:`~repro.exceptions.ParseError` (real corruption, not a torn
-    tail — a tailer never waits out a malformed line).
+    tail — a tailer never waits out a malformed line).  A file smaller
+    than the consumed offset raises
+    :class:`~repro.exceptions.EventLogTruncatedError` (see module
+    docstring).
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
@@ -49,9 +65,49 @@ class EventLogTail:
         self.offset = 0
         self._line = 0
 
+    @property
+    def line(self) -> int:
+        """1-based number of the last fully consumed line."""
+        return self._line
+
+    def restore(self, offset: int, line: int) -> None:
+        """Reposition the tailer at a snapshot-recorded position.
+
+        The caller (:mod:`repro.stream.snapshot`) is responsible for
+        having verified that the log's first ``offset`` bytes still
+        match the snapshot's fingerprint before trusting this.
+        """
+        if offset < 0 or line < 0:
+            raise ValueError("tail position must be non-negative")
+        self.offset = offset
+        self._line = line
+
     def poll(self) -> List[TailedEvent]:
         try:
             with open(self.path, "rb") as handle:
+                size = os.fstat(handle.fileno()).st_size
+                if size < self.offset:
+                    raise EventLogTruncatedError(
+                        f"event log {self.path} shrank to {size} bytes "
+                        f"below the consumed offset {self.offset} "
+                        "(truncated or rotated mid-tail)",
+                        path=self.path,
+                        offset=self.offset,
+                        size=size,
+                        diagnostic=Diagnostic(
+                            code="CTX502",
+                            severity=Severity.ERROR,
+                            location=Location(file=self.path),
+                            message=(
+                                f"file size {size} < consumed offset "
+                                f"{self.offset}"
+                            ),
+                            fix_hint=(
+                                "resume from a fingerprint-verified "
+                                "snapshot, or re-read from offset 0"
+                            ),
+                        ),
+                    )
                 handle.seek(self.offset)
                 data = handle.read()
         except FileNotFoundError:
@@ -60,25 +116,39 @@ class EventLogTail:
             return []
         out: List[TailedEvent] = []
         consumed = 0
+        line = self._line
         for raw in data.splitlines(keepends=True):
             if not raw.endswith(b"\n"):
                 break  # torn tail: wait for the writer to finish it
             consumed += len(raw)
-            self._line += 1
+            line += 1
             stripped = raw.strip()
             if not stripped:
                 continue
-            event = parse_event_line(
-                stripped.decode("utf-8"),
-                source=self.path,
-                line=self._line,
-            )
+            try:
+                event = parse_event_line(
+                    stripped.decode("utf-8"),
+                    source=self.path,
+                    line=line,
+                )
+            except ParseError as err:
+                # attribute the defect to its exact log position so
+                # the supervisor can quarantine the poison line even
+                # when the whole log arrived in one poll (the tail's
+                # own state is left uncommitted — nothing before the
+                # defect counts as consumed)
+                if err.offset is None:
+                    err.offset = self.offset + consumed - len(raw)
+                if err.line is None:
+                    err.line = line
+                raise
             out.append(
                 TailedEvent(
                     event=event,
                     offset=self.offset + consumed,
-                    line=self._line,
+                    line=line,
                 )
             )
         self.offset += consumed
+        self._line = line
         return out

@@ -294,6 +294,102 @@ _RAW_TEXTS = {
 }
 
 
+# CTX5xx codes are raised by the streaming recovery layer
+# (SnapshotError / EventLogTruncatedError / PoisonEvent diagnostics),
+# not through lint_document: each trigger provokes the real error path
+# in a scratch directory.
+_HEADER_LINE = b'{"e": "log", "v": 1, "derive": "declared"}\n'
+
+
+def _ctx501_codes() -> Set[str]:
+    import tempfile
+    from pathlib import Path
+
+    from repro.exceptions import SnapshotError
+    from repro.stream.snapshot import verify_snapshot
+
+    with tempfile.TemporaryDirectory() as tmp:
+        log = Path(tmp) / "log.jsonl"
+        log.write_bytes(_HEADER_LINE)
+        document = {
+            "log": {"offset": 10, "line": 1, "digest": "not-the-prefix"}
+        }
+        try:
+            verify_snapshot(document, log)
+        except SnapshotError as err:
+            assert err.diagnostic is not None
+            return {err.diagnostic.code}
+    return set()
+
+
+def _ctx502_codes() -> Set[str]:
+    import tempfile
+    from pathlib import Path
+
+    from repro.exceptions import EventLogTruncatedError
+    from repro.stream.tail import EventLogTail
+
+    with tempfile.TemporaryDirectory() as tmp:
+        log = Path(tmp) / "log.jsonl"
+        log.write_bytes(_HEADER_LINE)
+        tail = EventLogTail(str(log))
+        tail.poll()
+        log.write_bytes(b"")
+        try:
+            tail.poll()
+        except EventLogTruncatedError as err:
+            assert err.diagnostic is not None
+            return {err.diagnostic.code}
+    return set()
+
+
+def _ctx503_codes() -> Set[str]:
+    import tempfile
+    from pathlib import Path
+
+    from repro.exceptions import SnapshotError
+    from repro.stream.snapshot import read_snapshot
+
+    with tempfile.TemporaryDirectory() as tmp:
+        snap = Path(tmp) / "snap.json"
+        snap.write_text('{"v": 1, "log"', encoding="utf-8")
+        try:
+            read_snapshot(str(snap))
+        except SnapshotError as err:
+            assert err.diagnostic is not None
+            return {err.diagnostic.code}
+    return set()
+
+
+def _ctx504_codes() -> Set[str]:
+    import tempfile
+    from pathlib import Path
+
+    from repro.stream.supervisor import StreamSupervisor
+
+    with tempfile.TemporaryDirectory() as tmp:
+        log = Path(tmp) / "log.jsonl"
+        log.write_bytes(_HEADER_LINE + b"this line is not an event\n")
+        supervisor = StreamSupervisor(
+            str(log),
+            follow=False,
+            quarantine_after=1,
+            backoff_base=0.0,
+            sleep=lambda _s: None,
+        )
+        watch = supervisor.run()
+        assert watch.poison is not None
+        return {watch.poison.diagnostic.code}
+
+
+_STREAM_TRIGGERS = {
+    "CTX501": _ctx501_codes,
+    "CTX502": _ctx502_codes,
+    "CTX503": _ctx503_codes,
+    "CTX504": _ctx504_codes,
+}
+
+
 def _raw_text_codes(text: str) -> Set[str]:
     from repro.exceptions import ParseError
     from repro.io.jsondoc import parse_json_document
@@ -319,6 +415,8 @@ def _trigger(code: str) -> Set[str]:
         )
     if code in _RAW_TEXTS:
         return _raw_text_codes(_RAW_TEXTS[code])
+    if code in _STREAM_TRIGGERS:
+        return _STREAM_TRIGGERS[code]()
     if code == "CTX306":
         from repro.core.observed import ObservedOrderOptions
 
@@ -342,6 +440,7 @@ def test_every_code_has_a_trigger(code):
         or code == "CTX201"
         or code in _DOCUMENTS
         or code in _RAW_TEXTS
+        or code in _STREAM_TRIGGERS
     ), f"no golden fixture for {code}; add one when registering codes"
     assert code in _trigger(code)
 

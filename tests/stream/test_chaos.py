@@ -1,0 +1,39 @@
+"""The log-chaos harness holds its own contract: every scenario ends
+with the supervised watch certifying byte-identically to the batch
+check (the harness hard-asserts internally; these tests pin the
+recovery *shape* each fault family must produce)."""
+
+import pytest
+
+from repro.exceptions import StreamError
+from repro.stream.chaos import SCENARIOS, run_chaos_suite
+
+
+def test_scenario_names_are_stable():
+    assert SCENARIOS == (
+        "kill", "torn", "corrupt", "duplicate", "reorder", "rotate"
+    )
+    with pytest.raises(StreamError, match="unknown chaos scenario"):
+        run_chaos_suite(scenarios=["nope"])
+
+
+def test_kill_resumes_from_snapshot_with_partial_replay(tmp_path):
+    [outcome] = run_chaos_suite(scenarios=["kill"])
+    assert outcome.status == "REJECTED"
+    assert outcome.quarantines == 0
+    assert "snapshot" in outcome.recover_modes
+    assert 0 < outcome.replayed < outcome.total_events
+
+
+def test_corrupt_line_is_quarantined_then_repaired(tmp_path):
+    [outcome] = run_chaos_suite(scenarios=["corrupt"])
+    assert outcome.quarantines == 1
+    assert "CTX504" in outcome.codes
+    assert outcome.status == "REJECTED"
+
+
+def test_rotation_falls_back_to_full_reread(tmp_path):
+    [outcome] = run_chaos_suite(scenarios=["rotate"])
+    assert "full" in outcome.recover_modes
+    assert "CTX501" in outcome.codes
+    assert outcome.status == "REJECTED"

@@ -1,0 +1,133 @@
+"""The streaming kill-and-resume contract, end to end through the CLI:
+SIGKILL a following ``composite-tx watch`` mid-log, resume it from the
+snapshot it left behind, and the certified verdict plus canonical
+telemetry are byte-identical to an uninterrupted batch ``check`` —
+while the resumed watch replays strictly fewer events than the log
+holds (mirrors ``tests/analysis/test_checkpoint.py`` for the batch
+layer)."""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import repro
+from repro.io import save
+from repro.io.eventlog import dumps_event, events_from_recorded
+from repro.obs import canonical_dumps, read_records
+from repro.workloads.generator import WorkloadConfig, generate
+from repro.workloads.topologies import stack_topology
+
+SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _run_cli(args, cwd, timeout=120):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_sigkilled_watch_resumes_byte_identical(tmp_path):
+    recorded = generate(
+        stack_topology(3),
+        WorkloadConfig(seed=11, roots=4, conflict_probability=0.2),
+    )
+    events = events_from_recorded(recorded)
+    exec_path = tmp_path / "exec.json"
+    save(recorded, str(exec_path))
+
+    # uninterrupted reference: the batch check's canonical telemetry
+    ref = _run_cli(
+        ["check", str(exec_path), "--telemetry-out",
+         str(tmp_path / "ref.jsonl")],
+        cwd=str(tmp_path),
+    )
+    assert ref.returncode in (0, 2), ref.stderr
+
+    # a live writer appends the log while a following watch tails it
+    log = tmp_path / "log.jsonl"
+    snap = tmp_path / "snap.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    victim = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "watch", str(log),
+            "--follow", "--interval", "0.01",
+            "--snapshot-out", str(snap),
+        ],
+        cwd=str(tmp_path),
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        half = len(events) // 2
+        with open(log, "w", encoding="utf-8") as handle:
+            for event in events[:half]:
+                handle.write(dumps_event(event) + "\n")
+            handle.flush()
+        # SIGKILL once a snapshot covering some of the prefix exists
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            if victim.poll() is not None:
+                break
+            try:
+                if json.loads(snap.read_text())["log"]["offset"] > 0:
+                    break
+            except (OSError, json.JSONDecodeError, KeyError):
+                pass
+            time.sleep(0.005)
+        killed_mid_watch = victim.poll() is None
+        victim.kill()
+    finally:
+        victim.wait(timeout=60)
+    assert killed_mid_watch, "watch exited before the kill landed"
+
+    # the snapshot on disk is complete JSON despite the SIGKILL
+    document = json.loads(snap.read_text())
+    assert document["v"] == 1
+    snapshot_events = document["log"]["line"]
+    assert 0 < snapshot_events <= half
+
+    # the writer finishes the log; the resumed watch replays only the
+    # suffix past the snapshot and certifies
+    with open(log, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(dumps_event(event) + "\n")
+    resumed = _run_cli(
+        [
+            "watch", str(log),
+            "--resume-from-snapshot", str(snap),
+            "--telemetry-out", str(tmp_path / "watch.jsonl"),
+        ],
+        cwd=str(tmp_path),
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    assert f"{snapshot_events} event(s) restored" in resumed.stderr
+
+    # canonical telemetry byte-identity with the uninterrupted check
+    ours = canonical_dumps(read_records(str(tmp_path / "watch.jsonl")))
+    theirs = canonical_dumps(read_records(str(tmp_path / "ref.jsonl")))
+    assert ours == theirs
+
+    # strictly fewer events replayed than the log holds, and the
+    # recovery is measured on the watch stream
+    records = read_records(str(tmp_path / "watch.jsonl"))
+    recover = [r for r in records if r.get("name") == "stream.recover"]
+    assert recover and recover[0]["fields"]["mode"] == "snapshot"
+    assert recover[0]["fields"]["events"] == snapshot_events
+    replayed = [
+        r for r in records
+        if r.get("name") == "stream.recover.replayed"
+    ]
+    assert replayed
+    assert replayed[0]["fields"]["value"] == len(events) - snapshot_events
+    assert replayed[0]["fields"]["value"] < len(events)

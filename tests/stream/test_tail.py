@@ -60,12 +60,58 @@ def test_torn_tail_waits_then_completes(tmp_path):
 
 def test_complete_malformed_line_raises(tmp_path):
     """Corruption *before* the tail (a complete line that is not an
-    event) is a real error, not a torn write."""
+    event) is a real error, not a torn write — attributed to the bad
+    line's exact byte offset and line number, with the tail's own
+    position left uncommitted."""
     path = tmp_path / "log.jsonl"
-    path.write_text(_lines()[0] + "{broken\n" + _lines()[1])
+    first = _lines()[0]
+    path.write_text(first + "{broken\n" + _lines()[1])
     tail = EventLogTail(path)
-    with pytest.raises(ParseError):
+    with pytest.raises(ParseError) as err:
         tail.poll()
+    assert err.value.offset == len(first.encode())
+    assert err.value.line == 2
+    assert tail.offset == 0 and tail.line == 0
+
+
+def test_truncated_log_raises_ctx502(tmp_path):
+    """A file now smaller than the consumed offset means rotation or
+    truncation underneath the tailer: CTX502, never a silent 'no new
+    events'."""
+    from repro.exceptions import EventLogTruncatedError
+
+    path = tmp_path / "log.jsonl"
+    lines = _lines()
+    path.write_text("".join(lines))
+    tail = EventLogTail(path)
+    tail.poll()
+    path.write_text("".join(lines[:2]))  # copytruncate-style rotation
+    with pytest.raises(EventLogTruncatedError) as err:
+        tail.poll()
+    assert err.value.diagnostic.code == "CTX502"
+    assert err.value.offset == sum(len(l.encode()) for l in lines)
+    assert err.value.size == sum(len(l.encode()) for l in lines[:2])
+
+
+def test_restore_repositions_exactly(tmp_path):
+    """The snapshot resume path: a fresh tailer restored at a recorded
+    (offset, line) replays exactly the suffix with correct line
+    numbers."""
+    path = tmp_path / "log.jsonl"
+    lines = _lines()
+    path.write_text("".join(lines))
+    tail = EventLogTail(path)
+    consumed = tail.poll()
+    cut = len(consumed) // 2
+    resumed = EventLogTail(path)
+    resumed.restore(consumed[cut - 1].offset, consumed[cut - 1].line)
+    assert resumed.line == consumed[cut - 1].line
+    suffix = resumed.poll()
+    assert [(t.event, t.offset, t.line) for t in suffix] == [
+        (t.event, t.offset, t.line) for t in consumed[cut:]
+    ]
+    with pytest.raises(ValueError):
+        resumed.restore(-1, 0)
 
 
 def test_blank_lines_are_skipped(tmp_path):
